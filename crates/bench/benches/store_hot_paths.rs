@@ -1,0 +1,89 @@
+//! Store hot-path micro-benchmarks: event application through the buffer
+//! pool, and end-to-end OO7 trace replay throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use odbgc_oo7::{Oo7App, Oo7Params};
+use odbgc_store::{Event, Store, StoreConfig};
+use odbgc_trace::{ObjectId, SlotIdx, TraceBuilder};
+
+fn bench_store(c: &mut Criterion) {
+    // Single-event costs on a pre-populated store.
+    let mut setup = TraceBuilder::new();
+    let root = setup.create_unlinked(16, 64);
+    setup.root_add(root);
+    let mut ids = Vec::new();
+    for i in 0..64u32 {
+        let id = setup.create_unlinked(128, 2);
+        setup.slot_write(root, SlotIdx::new(i), Some(id));
+        ids.push(id);
+    }
+    let setup_trace = setup.finish();
+    let make_store = || {
+        let mut s = Store::new(StoreConfig::default());
+        for ev in setup_trace.iter() {
+            s.apply(ev).expect("setup replays");
+        }
+        s
+    };
+
+    let mut group = c.benchmark_group("event_apply");
+    group.bench_function("access_hot", |b| {
+        let mut store = make_store();
+        b.iter(|| black_box(store.apply(&Event::Access { id: ids[0] })))
+    });
+    group.bench_function("access_scan", |b| {
+        // Rotating accesses defeat the buffer: every touch may miss.
+        let mut store = make_store();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            black_box(store.apply(&Event::Access { id: ids[i] }))
+        })
+    });
+    group.bench_function("slot_relink", |b| {
+        let mut store = make_store();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            black_box(store.apply(&Event::SlotWrite {
+                src: ids[i],
+                slot: SlotIdx::new(0),
+                new: Some(ids[(i + 1) % ids.len()]),
+            }))
+        })
+    });
+    group.bench_function("create", |b| {
+        let mut store = make_store();
+        let mut next = 10_000u64;
+        b.iter(|| {
+            next += 1;
+            black_box(store.apply(&Event::Create {
+                id: ObjectId::new(next),
+                size: 128,
+                slots: Box::new([Some(ids[0])]),
+            }))
+        })
+    });
+    group.finish();
+
+    // End-to-end replay throughput on the real workload.
+    let (trace, _) = Oo7App::standard(Oo7Params::small_prime(3), 1).generate();
+    let mut group = c.benchmark_group("oo7_replay");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    group.bench_function("small_prime_conn3", |b| {
+        b.iter(|| {
+            let mut store = Store::new(StoreConfig::default());
+            for ev in trace.iter() {
+                store.apply(ev).expect("replay");
+            }
+            black_box(store.live_bytes())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates every table and figure, in paper order.
+fn main() {
+    let scale = odbgc_bench::Scale::from_env();
+    println!("{}", odbgc_bench::experiments::all_reports(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7a (FGS/HB history-parameter study).
+fn main() {
+    let scale = odbgc_bench::Scale::from_env();
+    println!("{}", odbgc_bench::experiments::fig7::report_7a(scale));
+}

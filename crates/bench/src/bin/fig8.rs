@@ -1,0 +1,5 @@
+//! Regenerates the report for this experiment (see crate docs).
+fn main() {
+    let scale = odbgc_bench::Scale::from_env();
+    println!("{}", odbgc_bench::experiments::fig8::report(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the mixed-workload experiment (two interleaved apps).
+fn main() {
+    let scale = odbgc_bench::Scale::from_env();
+    println!("{}", odbgc_bench::experiments::mixed::report(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §2 motivation experiment (overwrite vs allocation
+//! triggering).
+fn main() {
+    let scale = odbgc_bench::Scale::from_env();
+    println!("{}", odbgc_bench::experiments::motivation::report(scale));
+}

@@ -1,0 +1,172 @@
+//! Shared experiment plumbing.
+
+use odbgc_sim::core_policies::{
+    EstimatorKind, HistoryLen, RatePolicy, SagaPolicy, SaioConfig, SaioPolicy,
+};
+use odbgc_sim::{run_oo7_experiment, sweep_point, RunResult, SweepPoint};
+
+use crate::scale::Scale;
+
+/// Achieved GC-I/O percentage with an adaptive preamble: the configured
+/// preamble when enough collections happened, otherwise half the
+/// collections (the paper adapts its preamble between 10 and 30 by the
+/// same spirit — exclude cold start, keep the window as long as possible).
+pub fn adaptive_gc_io_pct(r: &RunResult, preferred_preamble: u64) -> Option<f64> {
+    let n = r.collection_count();
+    if n == 0 {
+        return None;
+    }
+    let preamble = preferred_preamble.min(n / 2);
+    r.windowed_gc_io_pct(preamble)
+}
+
+/// Sweeps SAIO over requested I/O percentages; returns one aggregated
+/// point per requested percentage.
+pub fn saio_sweep(
+    scale: Scale,
+    connectivity: u32,
+    fracs_pct: &[f64],
+    history: HistoryLen,
+) -> Vec<SweepPoint> {
+    saio_sweep_seeded(scale, connectivity, fracs_pct, history, &scale.seeds())
+}
+
+/// [`saio_sweep`] with an explicit seed list (Figure 8 uses a single run
+/// per data point).
+pub fn saio_sweep_seeded(
+    scale: Scale,
+    connectivity: u32,
+    fracs_pct: &[f64],
+    history: HistoryLen,
+    seeds: &[u64],
+) -> Vec<SweepPoint> {
+    let params = scale.params(connectivity);
+    let seeds = seeds.to_vec();
+    let config = scale.sim_config();
+    fracs_pct
+        .iter()
+        .map(|&pct| {
+            let outcome = run_oo7_experiment(params, &seeds, &config, || {
+                Box::new(SaioPolicy::new(
+                    SaioConfig::new(pct / 100.0).with_history(history),
+                ))
+            });
+            let achieved: Vec<f64> = outcome
+                .runs
+                .iter()
+                .filter_map(|r| adaptive_gc_io_pct(r, scale.preamble()))
+                .collect();
+            if achieved.is_empty() {
+                SweepPoint {
+                    x: pct,
+                    mean: f64::NAN,
+                    min: f64::NAN,
+                    max: f64::NAN,
+                    runs: 0,
+                }
+            } else {
+                sweep_point(pct, &achieved)
+            }
+        })
+        .collect()
+}
+
+/// Sweeps SAGA over requested garbage percentages for one estimator.
+pub fn saga_sweep(
+    scale: Scale,
+    connectivity: u32,
+    fracs_pct: &[f64],
+    estimator: EstimatorKind,
+) -> Vec<SweepPoint> {
+    saga_sweep_seeded(scale, connectivity, fracs_pct, estimator, &scale.seeds())
+}
+
+/// [`saga_sweep`] with an explicit seed list.
+pub fn saga_sweep_seeded(
+    scale: Scale,
+    connectivity: u32,
+    fracs_pct: &[f64],
+    estimator: EstimatorKind,
+    seeds: &[u64],
+) -> Vec<SweepPoint> {
+    let params = scale.params(connectivity);
+    let seeds = seeds.to_vec();
+    let config = scale.sim_config();
+    fracs_pct
+        .iter()
+        .map(|&pct| {
+            let outcome = run_oo7_experiment(params, &seeds, &config, || {
+                Box::new(SagaPolicy::new(scale.saga_config(pct / 100.0), estimator.build()))
+            });
+            let achieved = outcome.garbage_pcts();
+            if achieved.is_empty() {
+                SweepPoint {
+                    x: pct,
+                    mean: f64::NAN,
+                    min: f64::NAN,
+                    max: f64::NAN,
+                    runs: 0,
+                }
+            } else {
+                sweep_point(pct, &achieved)
+            }
+        })
+        .collect()
+}
+
+/// Runs one policy across the scale's seeds and returns the runs.
+pub fn runs_for_policy<F>(scale: Scale, connectivity: u32, make: F) -> Vec<RunResult>
+where
+    F: Fn() -> Box<dyn RatePolicy> + Sync,
+{
+    run_oo7_experiment(
+        scale.params(connectivity),
+        &scale.seeds(),
+        &scale.sim_config(),
+        make,
+    )
+    .runs
+}
+
+/// The requested-percentage grids used across figures.
+pub mod grids {
+    /// Fixed rates for Figure 1 (pointer overwrites per collection).
+    pub const FIG1_RATES: [u64; 6] = [25, 50, 100, 200, 400, 800];
+    /// Requested GC-I/O percentages for Figure 4.
+    pub const FIG4_FRACS: [f64; 8] = [2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0];
+    /// Requested garbage percentages for Figure 5.
+    pub const FIG5_FRACS: [f64; 7] = [2.0, 5.0, 8.0, 10.0, 12.0, 15.0, 20.0];
+    /// History factors for Figure 7a.
+    pub const FIG7A_H: [f64; 3] = [0.5, 0.8, 0.95];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbgc_sim::core_policies::FixedRatePolicy;
+
+    #[test]
+    fn saio_sweep_produces_point_per_fraction() {
+        let pts = saio_sweep(Scale::Test, 2, &[10.0, 20.0], HistoryLen::None);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].x, 10.0);
+        assert!(pts[0].mean.is_finite());
+    }
+
+    #[test]
+    fn saga_sweep_produces_point_per_fraction() {
+        let pts = saga_sweep(Scale::Test, 2, &[10.0], EstimatorKind::Oracle);
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].mean.is_finite());
+    }
+
+    #[test]
+    fn adaptive_preamble_recovers_short_runs() {
+        let runs = runs_for_policy(Scale::Test, 2, || Box::new(FixedRatePolicy::new(30)));
+        for r in &runs {
+            if r.collection_count() >= 2 {
+                assert!(adaptive_gc_io_pct(r, 10).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! One module per reproduced table/figure (see the crate docs for the
+//! index).
+
+pub mod ablation;
+pub mod extensions;
+pub mod fig1;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod mixed;
+pub mod motivation;
+pub mod strawman;
+pub mod table1;
+
+use crate::scale::Scale;
+
+/// Runs every experiment in paper order, concatenating the reports.
+pub fn all_reports(scale: Scale) -> String {
+    let sections = [
+        table1::report(scale),
+        fig2::report(scale),
+        fig1::report(scale),
+        strawman::report(scale),
+        motivation::report(scale),
+        fig4::report(scale),
+        fig5::report(scale),
+        fig6::report(scale),
+        fig7::report_7a(scale),
+        fig7::report_7b(scale),
+        fig8::report(scale),
+        ablation::report(scale),
+        mixed::report(scale),
+        extensions::report(scale),
+    ];
+    sections.join("\n")
+}

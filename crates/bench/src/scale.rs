@@ -1,0 +1,107 @@
+//! Experiment scale control.
+
+use odbgc_sim::oo7::Oo7Params;
+use odbgc_sim::SimConfig;
+
+/// How big an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// The paper's protocol: Small′ database, 10 seeds, 10-collection
+    /// preamble.
+    #[default]
+    Full,
+    /// Small′ database, 3 seeds — same shapes, faster.
+    Quick,
+    /// Miniature database, 1 seed — for smoke tests only.
+    Test,
+}
+
+impl Scale {
+    /// Reads `ODBGC_SCALE` (`full` / `quick` / `test`), defaulting to Full.
+    pub fn from_env() -> Scale {
+        match std::env::var("ODBGC_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            Ok("test") => Scale::Test,
+            _ => Scale::Full,
+        }
+    }
+
+    /// The seeds to run (the paper uses 10 runs per data point).
+    pub fn seeds(self) -> Vec<u64> {
+        match self {
+            Scale::Full => (1..=10).collect(),
+            Scale::Quick => vec![1, 2, 3],
+            Scale::Test => vec![1],
+        }
+    }
+
+    /// The seed used for single-run time-series figures.
+    pub fn series_seed(self) -> u64 {
+        1
+    }
+
+    /// Database parameters at a given connectivity.
+    pub fn params(self, connectivity: u32) -> Oo7Params {
+        match self {
+            Scale::Full | Scale::Quick => Oo7Params::small_prime(connectivity),
+            Scale::Test => {
+                let mut p = Oo7Params::tiny();
+                // Tiny composites have 6 parts; clamp connectivity below.
+                p.num_conn_per_atomic = connectivity.min(p.num_atomic_per_comp - 2);
+                p
+            }
+        }
+    }
+
+    /// Simulation configuration (paper store geometry; shorter preamble at
+    /// test scale where runs have few collections).
+    pub fn sim_config(self) -> SimConfig {
+        match self {
+            Scale::Full | Scale::Quick => SimConfig::default(),
+            Scale::Test => SimConfig::tiny(),
+        }
+    }
+
+    /// Preamble used for post-hoc windowed statistics.
+    pub fn preamble(self) -> u64 {
+        self.sim_config().preamble_collections
+    }
+
+    /// SAGA configuration for a requested garbage fraction. Full/Quick use
+    /// the paper's clamps (Δt ∈ [2, 1000] overwrites); the miniature test
+    /// database produces only a few hundred overwrites in total, so its
+    /// Δt_max shrinks proportionally.
+    pub fn saga_config(self, frac: f64) -> odbgc_core::SagaConfig {
+        let mut cfg = odbgc_core::SagaConfig::new(frac);
+        if self == Scale::Test {
+            cfg.dt_max = 20;
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_protocol() {
+        assert_eq!(Scale::Full.seeds().len(), 10);
+        assert_eq!(Scale::Full.preamble(), 10);
+        assert_eq!(Scale::Full.params(3).num_comp_per_module, 150);
+    }
+
+    #[test]
+    fn test_scale_is_miniature() {
+        assert_eq!(Scale::Test.seeds(), vec![1]);
+        let p = Scale::Test.params(9);
+        assert!(p.num_conn_per_atomic < p.num_atomic_per_comp);
+        p.validate();
+    }
+
+    #[test]
+    fn connectivity_flows_through() {
+        assert_eq!(Scale::Full.params(6).num_conn_per_atomic, 6);
+        assert_eq!(Scale::Quick.params(9).num_conn_per_atomic, 9);
+    }
+}

@@ -1,0 +1,64 @@
+//! `odbgc info` — census of a trace file.
+
+use odbgc_trace::EventKind;
+
+use crate::commands::load_trace;
+use crate::flags::Flags;
+use crate::CliError;
+
+/// Prints a census of a trace file.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let path = flags.require("trace")?;
+    flags.finish()?;
+
+    let trace = load_trace(&path)?;
+    let stats = trace.stats();
+    let mut out = format!(
+        "{path}: {} events, {} objects created, {:.2} MB allocated, mean object {:.0} B\n",
+        trace.len(),
+        stats.objects_created,
+        stats.bytes_allocated as f64 / 1_048_576.0,
+        stats.mean_object_size(),
+    );
+    out.push_str("phase        creations  slot-writes   accesses\n");
+    for (name, counts) in &stats.by_phase {
+        let get = |k: EventKind| counts.get(&k).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "{name:<12} {:>9}  {:>11}  {:>9}\n",
+            get(EventKind::Create),
+            get(EventKind::SlotWrite),
+            get(EventKind::Access),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_census_of_generated_trace() {
+        let dir = std::env::temp_dir().join("odbgc-cli-test-info");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.odbgc");
+        crate::commands::generate::run(&[
+            "--out".into(),
+            path.display().to_string(),
+            "--params".into(),
+            "tiny".into(),
+        ])
+        .unwrap();
+        let out = run(&["--trace".into(), path.display().to_string()]).unwrap();
+        assert!(out.contains("GenDB"));
+        assert!(out.contains("Traverse"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let e = run(&["--trace".into(), "/nonexistent/x.odbgc".into()]).unwrap_err();
+        assert!(e.to_string().contains("cannot read"));
+    }
+}

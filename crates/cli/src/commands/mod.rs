@@ -1,0 +1,17 @@
+//! The CLI subcommands.
+
+pub mod generate;
+pub mod info;
+pub mod run;
+pub mod sweep;
+
+use odbgc_trace::Trace;
+
+use crate::CliError;
+
+/// Loads a trace from disk (the `odbgc-trace` text format).
+pub fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?;
+    odbgc_trace::codec::decode(&text).map_err(|e| CliError(format!("{path}: {e}")))
+}

@@ -1,0 +1,139 @@
+//! `odbgc sweep` — requested-vs-achieved sweeps over seeds.
+
+use odbgc_core::{EstimatorKind, SagaConfig, SagaPolicy, SaioPolicy};
+use odbgc_sim::{run_oo7_experiment, sweep_point, SimConfig, SweepPoint};
+
+use crate::flags::{parse_number_list, parse_seed_range, Flags};
+use crate::spec;
+use crate::CliError;
+
+/// Runs requested-vs-achieved sweeps over seeds.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let policy = flags.require("policy")?;
+    let points = parse_number_list(&flags.require("points")?)?;
+    let seeds = parse_seed_range(&flags.get("seeds").unwrap_or_else(|| "1..10".into()))?;
+    let conn: u32 = flags.get_or("conn", 3)?;
+    let params_name = flags.get("params");
+    let csv_path = flags.get("csv");
+    flags.finish()?;
+
+    let params = spec::build_params(params_name.as_deref(), conn, None)?;
+    let config = SimConfig::default();
+
+    // The sweep axis: `saio` sweeps requested I/O%, `saga[:estimator]`
+    // sweeps requested garbage%.
+    let mut spec_parts = policy.split(':');
+    let head = spec_parts.next().unwrap_or_default();
+    let results: Vec<SweepPoint> = match head {
+        "saio" => points
+            .iter()
+            .map(|&pct| {
+                let outcome = run_oo7_experiment(params, &seeds, &config, || {
+                    Box::new(SaioPolicy::with_frac(pct / 100.0))
+                });
+                let achieved = outcome.gc_io_pcts();
+                if achieved.is_empty() {
+                    SweepPoint {
+                        x: pct,
+                        mean: f64::NAN,
+                        min: f64::NAN,
+                        max: f64::NAN,
+                        runs: 0,
+                    }
+                } else {
+                    sweep_point(pct, &achieved)
+                }
+            })
+            .collect(),
+        "saga" => {
+            let estimator = match spec_parts.next() {
+                None => EstimatorKind::Oracle,
+                Some(tok) => spec::parse_estimator(tok)?,
+            };
+            points
+                .iter()
+                .map(|&pct| {
+                    let outcome = run_oo7_experiment(params, &seeds, &config, || {
+                        Box::new(SagaPolicy::new(
+                            SagaConfig::new(pct / 100.0),
+                            estimator.build(),
+                        ))
+                    });
+                    let achieved = outcome.garbage_pcts();
+                    if achieved.is_empty() {
+                        SweepPoint {
+                            x: pct,
+                            mean: f64::NAN,
+                            min: f64::NAN,
+                            max: f64::NAN,
+                            runs: 0,
+                        }
+                    } else {
+                        sweep_point(pct, &achieved)
+                    }
+                })
+                .collect()
+        }
+        other => {
+            return Err(CliError(format!(
+                "sweep supports saio or saga[:estimator], not {other:?}"
+            )))
+        }
+    };
+
+    let mut out = format!(
+        "sweep of {policy} over {} seeds (conn {conn})\nrequested  achieved.mean  achieved.min  achieved.max\n",
+        seeds.len()
+    );
+    let mut csv = String::from("requested,mean,min,max,runs\n");
+    for p in &results {
+        out.push_str(&format!(
+            "{:>9.1}  {:>13.2}  {:>12.2}  {:>12.2}\n",
+            p.x, p.mean, p.min, p.max
+        ));
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            p.x, p.mean, p.min, p.max, p.runs
+        ));
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(&path, csv)
+            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        out.push_str(&format!("csv written to {path}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn saio_sweep_on_tiny_runs() {
+        let out = run(&argv(
+            "--policy saio --points 10,20 --seeds 1..2 --params tiny --conn 2",
+        ))
+        .unwrap();
+        assert!(out.contains("requested"));
+        assert_eq!(out.lines().count(), 4);
+    }
+
+    #[test]
+    fn saga_sweep_with_estimator_runs() {
+        let out = run(&argv(
+            "--policy saga:fgs-hb --points 10 --seeds 1 --params tiny --conn 2",
+        ))
+        .unwrap();
+        assert!(out.contains("10.0"));
+    }
+
+    #[test]
+    fn sweep_rejects_fixed_policies() {
+        assert!(run(&argv("--policy fixed:200 --points 1 --seeds 1")).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! A tiny `--flag value` argument parser (no external dependency).
+
+use std::collections::BTreeMap;
+
+use crate::CliError;
+
+/// Parsed `--key value` pairs with typed accessors. Every flag must take
+/// exactly one value; unknown flags are rejected by [`Flags::finish`].
+#[derive(Debug)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Flags {
+    /// Parses an argument list of the form `--key value --key2 value2`.
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut values = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(CliError(format!(
+                    "expected a --flag, found {arg:?}"
+                )));
+            };
+            let Some(value) = it.next() else {
+                return Err(CliError(format!("flag --{key} is missing its value")));
+            };
+            if values.insert(key.to_owned(), value.clone()).is_some() {
+                return Err(CliError(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(Flags {
+            values,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.consumed.borrow_mut().push(key.to_owned());
+        self.values.get(key).cloned()
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<String, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("flag --{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Rejects any flag that no accessor asked about (catches typos).
+    pub fn finish(self) -> Result<(), CliError> {
+        let consumed = self.consumed.into_inner();
+        for key in self.values.keys() {
+            if !consumed.contains(key) {
+                return Err(CliError(format!("unknown flag --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a seed range: `5` (one seed) or `1..10` (inclusive).
+pub fn parse_seed_range(s: &str) -> Result<Vec<u64>, CliError> {
+    if let Some((a, b)) = s.split_once("..") {
+        let a: u64 = a
+            .parse()
+            .map_err(|_| CliError(format!("bad seed range start {a:?}")))?;
+        let b: u64 = b
+            .parse()
+            .map_err(|_| CliError(format!("bad seed range end {b:?}")))?;
+        if a > b {
+            return Err(CliError(format!("empty seed range {s:?}")));
+        }
+        Ok((a..=b).collect())
+    } else {
+        let v: u64 = s
+            .parse()
+            .map_err(|_| CliError(format!("bad seed {s:?}")))?;
+        Ok(vec![v])
+    }
+}
+
+/// Parses a comma-separated list of numbers: `2,5,10.5`.
+pub fn parse_number_list(s: &str) -> Result<Vec<f64>, CliError> {
+    s.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|_| CliError(format!("bad number {t:?} in list")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let f = Flags::parse(&argv("--conn 3 --seed 7")).unwrap();
+        assert_eq!(f.get("conn"), Some("3".into()));
+        assert_eq!(f.get_or::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(f.get_or::<u64>("missing", 42).unwrap(), 42);
+        f.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(Flags::parse(&argv("--conn")).is_err());
+        assert!(Flags::parse(&argv("--conn 3 --conn 4")).is_err());
+        assert!(Flags::parse(&argv("conn 3")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let f = Flags::parse(&argv("--conn 3 --tpyo 1")).unwrap();
+        let _ = f.get("conn");
+        assert!(f.finish().unwrap_err().to_string().contains("--tpyo"));
+    }
+
+    #[test]
+    fn required_flag_errors_when_absent() {
+        let f = Flags::parse(&[]).unwrap();
+        assert!(f.require("out").is_err());
+    }
+
+    #[test]
+    fn seed_ranges() {
+        assert_eq!(parse_seed_range("5").unwrap(), vec![5]);
+        assert_eq!(parse_seed_range("1..4").unwrap(), vec![1, 2, 3, 4]);
+        assert!(parse_seed_range("4..1").is_err());
+        assert!(parse_seed_range("x").is_err());
+    }
+
+    #[test]
+    fn number_lists() {
+        assert_eq!(parse_number_list("2,5,10.5").unwrap(), vec![2.0, 5.0, 10.5]);
+        assert!(parse_number_list("2,x").is_err());
+    }
+}

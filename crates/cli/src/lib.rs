@@ -1,0 +1,113 @@
+//! `odbgc` — command-line driver for the collection-rate simulator.
+//!
+//! ```text
+//! odbgc generate --conn 3 --seed 1 --out trace.odbgc     # write an OO7 trace
+//! odbgc info --trace trace.odbgc                          # census of a trace
+//! odbgc run --trace trace.odbgc --policy saio:10%         # simulate one policy
+//! odbgc run --conn 3 --seed 1 --policy saga:10%:fgs-hb    # generate + simulate
+//! odbgc sweep --policy saio --points 2,5,10,20 --seeds 1..10 --csv out.csv
+//! ```
+//!
+//! Policy specs:
+//!
+//! | Spec | Policy |
+//! |---|---|
+//! | `saio:10%` | SAIO at 10% requested GC-I/O share (`c_hist = 0`) |
+//! | `saio:10%:hist=4` / `hist=inf` | SAIO with a history window |
+//! | `saga:5%` / `saga:5%:oracle` | SAGA at 5% garbage, oracle estimator |
+//! | `saga:5%:fgs-hb` / `saga:5%:fgs-hb@0.5` | SAGA with FGS/HB (history factor) |
+//! | `saga:5%:cgs-cb` | SAGA with CGS/CB |
+//! | `fixed:200` | collect every 200 pointer overwrites |
+//! | `alloc:98304` | collect every 96 KiB allocated |
+//!
+//! Everything is deterministic in `--seed`.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod flags;
+pub mod spec;
+
+/// A user-facing CLI failure (bad arguments, bad spec, I/O trouble).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("I/O error: {e}"))
+    }
+}
+
+/// Dispatches a full argument vector (excluding the program name).
+/// Returns the text to print on success.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(usage());
+    };
+    match cmd.as_str() {
+        "generate" => commands::generate::run(rest),
+        "info" => commands::info::run(rest),
+        "run" => commands::run::run(rest),
+        "sweep" => commands::sweep::run(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError(format!(
+            "unknown command {other:?}; try `odbgc help`"
+        ))),
+    }
+}
+
+/// The top-level usage text.
+pub fn usage() -> String {
+    "\
+odbgc — self-adaptive GC-rate control simulator (SIGMOD'96 reproduction)
+
+USAGE:
+  odbgc generate --out <file> [--conn N] [--seed N] [--params small-prime|small|tiny] [--style bidir|forward]
+  odbgc info     --trace <file>
+  odbgc run      (--trace <file> | [--conn N] [--seed N]) --policy <spec>
+                 [--selector updated-pointer|random|round-robin|most-garbage]
+                 [--series <csv>] [--preamble N] [--store paper|tiny]
+  odbgc sweep    --policy saio|saga[:estimator] --points a,b,c [--seeds A..B]
+                 [--conn N] [--csv <file>]
+
+POLICY SPECS:
+  saio:10%[:hist=N|inf]   SAGA:5%[:oracle|fgs-hb[@h]|cgs-cb]
+  fixed:<overwrites>      alloc:<bytes>
+
+Everything is deterministic in --seed (default 1)."
+        .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn empty_args_print_usage() {
+        let out = dispatch(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(dispatch(&argv("help")).unwrap().contains("POLICY SPECS"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = dispatch(&argv("frobnicate")).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Textual specs for policies, selectors, and database parameters.
+
+use odbgc_core::{
+    AllocationRatePolicy, EstimatorKind, FixedRatePolicy, HistoryLen, RatePolicy, SagaConfig,
+    SagaPolicy, SaioConfig, SaioPolicy,
+};
+use odbgc_gc::SelectorKind;
+use odbgc_oo7::{ConnStyle, Oo7Params};
+
+use crate::CliError;
+
+/// A percentage token: `10%`, `10`, or `0.1` — all meaning 10% when the
+/// value is ≥ 1, or the literal fraction when < 1.
+fn parse_fraction(tok: &str) -> Result<f64, CliError> {
+    let raw = tok.strip_suffix('%').unwrap_or(tok);
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| CliError(format!("bad percentage {tok:?}")))?;
+    let frac = if tok.ends_with('%') || v >= 1.0 {
+        v / 100.0
+    } else {
+        v
+    };
+    if !(0.0..1.0).contains(&frac) && frac != 1.0 {
+        return Err(CliError(format!("percentage {tok:?} out of range")));
+    }
+    Ok(frac)
+}
+
+/// Parses an estimator token: `oracle`, `cgs-cb`, `fgs-hb`, `fgs-hb@0.5`.
+pub fn parse_estimator(tok: &str) -> Result<EstimatorKind, CliError> {
+    if tok == "oracle" {
+        return Ok(EstimatorKind::Oracle);
+    }
+    if tok == "cgs-cb" {
+        return Ok(EstimatorKind::CgsCb);
+    }
+    if let Some(rest) = tok.strip_prefix("fgs-hb") {
+        let h = match rest.strip_prefix('@') {
+            None if rest.is_empty() => 0.8,
+            Some(h) => h
+                .parse()
+                .map_err(|_| CliError(format!("bad history factor in {tok:?}")))?,
+            _ => return Err(CliError(format!("bad estimator {tok:?}"))),
+        };
+        if !(0.0..=1.0).contains(&h) {
+            return Err(CliError(format!("history factor {h} out of [0,1]")));
+        }
+        return Ok(EstimatorKind::FgsHb { h });
+    }
+    Err(CliError(format!(
+        "unknown estimator {tok:?} (oracle | cgs-cb | fgs-hb[@h])"
+    )))
+}
+
+/// Builds a rate policy from a spec string (see crate docs for the
+/// grammar).
+pub fn build_policy(spec: &str) -> Result<Box<dyn RatePolicy>, CliError> {
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or_default();
+    match head {
+        "saio" => {
+            let frac = parse_fraction(
+                parts
+                    .next()
+                    .ok_or_else(|| CliError("saio needs a percentage: saio:10%".into()))?,
+            )?;
+            let mut config = SaioConfig::new(frac);
+            if let Some(opt) = parts.next() {
+                let hist = opt
+                    .strip_prefix("hist=")
+                    .ok_or_else(|| CliError(format!("bad saio option {opt:?}")))?;
+                config.history = if hist == "inf" {
+                    HistoryLen::Infinite
+                } else {
+                    HistoryLen::Fixed(
+                        hist.parse()
+                            .map_err(|_| CliError(format!("bad history length {hist:?}")))?,
+                    )
+                };
+            }
+            Ok(Box::new(SaioPolicy::new(config)))
+        }
+        "saga" => {
+            let frac = parse_fraction(
+                parts
+                    .next()
+                    .ok_or_else(|| CliError("saga needs a percentage: saga:5%".into()))?,
+            )?;
+            let estimator = match parts.next() {
+                None => EstimatorKind::Oracle,
+                Some(tok) => parse_estimator(tok)?,
+            };
+            Ok(Box::new(SagaPolicy::new(
+                SagaConfig::new(frac),
+                estimator.build(),
+            )))
+        }
+        "fixed" => {
+            let rate: u64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| CliError("fixed needs a rate: fixed:200".into()))?;
+            Ok(Box::new(FixedRatePolicy::new(rate)))
+        }
+        "alloc" => {
+            let bytes: u64 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| CliError("alloc needs bytes: alloc:98304".into()))?;
+            Ok(Box::new(AllocationRatePolicy::new(bytes)))
+        }
+        other => Err(CliError(format!(
+            "unknown policy {other:?} (saio | saga | fixed | alloc)"
+        ))),
+    }
+}
+
+/// Parses a partition-selector name.
+pub fn parse_selector(tok: &str) -> Result<SelectorKind, CliError> {
+    match tok {
+        "updated-pointer" => Ok(SelectorKind::UpdatedPointer),
+        "random" => Ok(SelectorKind::Random),
+        "round-robin" => Ok(SelectorKind::RoundRobin),
+        "most-garbage" => Ok(SelectorKind::MostGarbageOracle),
+        other => Err(CliError(format!("unknown selector {other:?}"))),
+    }
+}
+
+/// Builds OO7 parameters from `--params`, `--conn`, `--style` values.
+pub fn build_params(
+    params: Option<&str>,
+    conn: u32,
+    style: Option<&str>,
+) -> Result<Oo7Params, CliError> {
+    let mut p = match params.unwrap_or("small-prime") {
+        "small-prime" => Oo7Params::small_prime(conn),
+        "small" => Oo7Params::small(conn),
+        "tiny" => {
+            let mut t = Oo7Params::tiny();
+            t.num_conn_per_atomic = conn.min(t.num_atomic_per_comp - 2).max(1);
+            t
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown params {other:?} (small-prime | small | tiny)"
+            )))
+        }
+    };
+    p.conn_style = match style.unwrap_or("bidir") {
+        "bidir" | "bidirectional" => ConnStyle::Bidirectional,
+        "forward" => ConnStyle::Forward,
+        other => return Err(CliError(format!("unknown style {other:?}"))),
+    };
+    p.validate();
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_forms() {
+        assert_eq!(parse_fraction("10%").unwrap(), 0.10);
+        assert_eq!(parse_fraction("10").unwrap(), 0.10);
+        assert_eq!(parse_fraction("0.1").unwrap(), 0.10);
+        assert!(parse_fraction("x").is_err());
+        assert!(parse_fraction("150%").is_err());
+    }
+
+    #[test]
+    fn policy_specs_build_and_name_themselves() {
+        assert_eq!(build_policy("saio:10%").unwrap().name(), "saio(10.0%, c_hist=0)");
+        assert_eq!(
+            build_policy("saio:10%:hist=inf").unwrap().name(),
+            "saio(10.0%, c_hist=inf)"
+        );
+        assert_eq!(
+            build_policy("saio:10%:hist=4").unwrap().name(),
+            "saio(10.0%, c_hist=4)"
+        );
+        assert_eq!(build_policy("saga:5%").unwrap().name(), "saga(5.0%, oracle)");
+        assert_eq!(
+            build_policy("saga:5%:fgs-hb@0.5").unwrap().name(),
+            "saga(5.0%, fgs-hb(h=0.50))"
+        );
+        assert_eq!(
+            build_policy("saga:5%:cgs-cb").unwrap().name(),
+            "saga(5.0%, cgs-cb)"
+        );
+        assert_eq!(build_policy("fixed:200").unwrap().name(), "fixed(200)");
+        assert_eq!(
+            build_policy("alloc:98304").unwrap().name(),
+            "alloc-fixed(98304B)"
+        );
+    }
+
+    #[test]
+    fn bad_policy_specs_error() {
+        assert!(build_policy("saio").is_err());
+        assert!(build_policy("saga:5%:psychic").is_err());
+        assert!(build_policy("warp:9").is_err());
+        assert!(build_policy("fixed:x").is_err());
+        assert!(build_policy("saio:10%:window=4").is_err());
+        assert!(build_policy("saga:5%:fgs-hb@1.5").is_err());
+    }
+
+    #[test]
+    fn selectors_parse() {
+        assert_eq!(
+            parse_selector("updated-pointer").unwrap(),
+            SelectorKind::UpdatedPointer
+        );
+        assert_eq!(parse_selector("random").unwrap(), SelectorKind::Random);
+        assert!(parse_selector("psychic").is_err());
+    }
+
+    #[test]
+    fn params_build() {
+        let p = build_params(None, 3, None).unwrap();
+        assert_eq!(p.num_comp_per_module, 150);
+        assert_eq!(p.conn_style, ConnStyle::Bidirectional);
+        let p = build_params(Some("tiny"), 9, Some("forward")).unwrap();
+        assert_eq!(p.conn_style, ConnStyle::Forward);
+        assert!(p.num_conn_per_atomic < p.num_atomic_per_comp);
+        assert!(build_params(Some("huge"), 3, None).is_err());
+        assert!(build_params(None, 3, Some("sideways")).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! The garbage-estimator interface (§2.4).
+//!
+//! SAGA needs `ActGarb(t)` — the garbage currently in the database — but
+//! determining it exactly would require scanning the whole database. The
+//! paper decomposes estimation into a *state* component (how much potential
+//! garbage each partition holds: coarse grain = partition count, fine grain
+//! = per-partition pointer-overwrite counts) and a *behavior* component
+//! (what recent collections revealed: current = last collection only,
+//! history = smoothed over recent collections).
+
+use crate::policy::CollectionObservation;
+
+/// Estimates the current amount of garbage in the database, updated after
+/// every collection.
+pub trait GarbageEstimator {
+    /// Consumes the post-collection observation and returns the estimate
+    /// of `ActGarb` in bytes.
+    fn estimate(&mut self, obs: &CollectionObservation) -> f64;
+
+    /// Estimator name for reports.
+    fn name(&self) -> String;
+}
+
+/// Enumerable estimator configuration for experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimatorKind {
+    /// Exact garbage knowledge (impractical; simulator-only, §4.1.2).
+    Oracle,
+    /// Coarse-grain state / current behavior.
+    CgsCb,
+    /// Fine-grain state / history behavior with history factor `h`.
+    FgsHb {
+        /// The exponential-mean history factor in `[0, 1]`.
+        h: f64,
+    },
+}
+
+impl EstimatorKind {
+    /// Instantiates the estimator.
+    pub fn build(self) -> Box<dyn GarbageEstimator> {
+        match self {
+            EstimatorKind::Oracle => Box::new(crate::estimators::oracle::Oracle),
+            EstimatorKind::CgsCb => Box::new(crate::estimators::cgs_cb::CgsCb),
+            EstimatorKind::FgsHb { h } => Box::new(crate::estimators::fgs_hb::FgsHb::new(h)),
+        }
+    }
+
+    /// The paper's default FGS/HB configuration (`h = 0.8`, §4.1.2: "we
+    /// have used 80% history with success").
+    pub fn fgs_hb_default() -> Self {
+        EstimatorKind::FgsHb { h: 0.8 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_named_estimators() {
+        assert_eq!(EstimatorKind::Oracle.build().name(), "oracle");
+        assert_eq!(EstimatorKind::CgsCb.build().name(), "cgs-cb");
+        assert_eq!(
+            EstimatorKind::fgs_hb_default().build().name(),
+            "fgs-hb(h=0.80)"
+        );
+    }
+}

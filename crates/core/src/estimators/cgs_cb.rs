@@ -1,0 +1,63 @@
+//! Coarse-grain state / current behavior (§2.4.1).
+//!
+//! State: the database is just `p` allocated partitions. Behavior: the
+//! last collection reclaimed `C` bytes. Estimate: `ActGarb = C · p`,
+//! i.e. assume every partition holds as much garbage as the one just
+//! collected.
+//!
+//! The paper shows this heuristic is poor (Figures 5, 6a): the
+//! UPDATEDPOINTER selection policy deliberately picks a partition with
+//! *more* than average garbage, so extrapolating its yield to all
+//! partitions systematically overestimates — and using only the current
+//! collection makes the estimate noisy.
+
+use crate::estimator::GarbageEstimator;
+use crate::policy::CollectionObservation;
+
+/// `ActGarb ≈ bytes reclaimed by last collection × partition count`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgsCb;
+
+impl GarbageEstimator for CgsCb {
+    fn estimate(&mut self, obs: &CollectionObservation) -> f64 {
+        obs.bytes_reclaimed as f64 * obs.partition_count as f64
+    }
+
+    fn name(&self) -> String {
+        "cgs-cb".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(reclaimed: u64, partitions: u64) -> CollectionObservation {
+        CollectionObservation {
+            bytes_reclaimed: reclaimed,
+            partition_count: partitions,
+            ..CollectionObservation::zero()
+        }
+    }
+
+    #[test]
+    fn multiplies_yield_by_partition_count() {
+        let mut e = CgsCb;
+        assert_eq!(e.estimate(&obs(500, 8)), 4_000.0);
+    }
+
+    #[test]
+    fn empty_collection_estimates_zero() {
+        let mut e = CgsCb;
+        assert_eq!(e.estimate(&obs(0, 8)), 0.0);
+    }
+
+    #[test]
+    fn is_memoryless() {
+        // CB = current behavior only: a big yield followed by a tiny one
+        // swings the estimate wildly — exactly the noise Figure 6a shows.
+        let mut e = CgsCb;
+        assert_eq!(e.estimate(&obs(10_000, 10)), 100_000.0);
+        assert_eq!(e.estimate(&obs(10, 10)), 100.0);
+    }
+}

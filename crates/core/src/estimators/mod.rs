@@ -1,0 +1,5 @@
+//! Concrete garbage estimators (§2.4 of the paper).
+
+pub mod cgs_cb;
+pub mod fgs_hb;
+pub mod oracle;

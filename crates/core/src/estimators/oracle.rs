@@ -1,0 +1,39 @@
+//! The perfect garbage "estimator".
+//!
+//! §2.4: "we have implemented in our simulator a perfect garbage estimator
+//! that knows exactly how much garbage exists in the database." It exists
+//! to evaluate the SAGA control algorithm independent of estimation error
+//! (Figure 5's near-perfect line); a real ODBMS cannot implement it
+//! without scanning the whole database.
+
+use crate::estimator::GarbageEstimator;
+use crate::policy::CollectionObservation;
+
+/// Exact garbage knowledge, read from the simulator's oracle field.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Oracle;
+
+impl GarbageEstimator for Oracle {
+    fn estimate(&mut self, obs: &CollectionObservation) -> f64 {
+        obs.exact_garbage as f64
+    }
+
+    fn name(&self) -> String {
+        "oracle".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_exact_garbage() {
+        let mut o = Oracle;
+        let obs = CollectionObservation {
+            exact_garbage: 12_345,
+            ..CollectionObservation::zero()
+        };
+        assert_eq!(o.estimate(&obs), 12_345.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Exponential moving average with first-sample initialization.
+
+/// `value ← h·value + (1−h)·sample`, where `h ∈ [0, 1]` is the history
+/// factor: `h = 0` keeps only the newest sample, `h → 1` changes slowly.
+///
+/// The first sample initializes the average directly, avoiding the
+/// cold-start bias a zero initial value would introduce (the paper's
+/// FGS/HB heuristic needs a sensible garbage-per-overwrite estimate from
+/// its very first collection).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    h: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an average with history factor `h ∈ [0, 1]`.
+    pub fn new(h: f64) -> Self {
+        assert!((0.0..=1.0).contains(&h), "history factor must be in [0,1]");
+        Ewma { h, value: None }
+    }
+
+    /// Feeds a sample; returns the updated average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let next = match self.value {
+            None => sample,
+            Some(v) => self.h * v + (1.0 - self.h) * sample,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current average, if any sample has been seen.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// The history factor.
+    pub fn h(&self) -> f64 {
+        self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = Ewma::new(0.8);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn blends_with_history_factor() {
+        let mut e = Ewma::new(0.8);
+        e.update(10.0);
+        let v = e.update(20.0);
+        assert!((v - (0.8 * 10.0 + 0.2 * 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_zero_tracks_latest_sample() {
+        let mut e = Ewma::new(0.0);
+        e.update(5.0);
+        assert_eq!(e.update(42.0), 42.0);
+    }
+
+    #[test]
+    fn h_one_never_moves_after_first() {
+        let mut e = Ewma::new(1.0);
+        e.update(5.0);
+        assert_eq!(e.update(1000.0), 5.0);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.9);
+        e.update(0.0);
+        for _ in 0..500 {
+            e.update(7.0);
+        }
+        assert!((e.value().unwrap() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "history factor")]
+    fn invalid_h_rejected() {
+        Ewma::new(1.5);
+    }
+}

@@ -1,0 +1,12 @@
+//! Implementations of the paper's §5 future-work directions.
+//!
+//! * [`opportunistic`] — collect ahead of schedule when the workload goes
+//!   quiescent ("if it appears advantageous to perform collection before
+//!   the interval expires … such opportunism can be considered").
+//! * [`coupled`] — couple SAIO with the SAGA garbage estimate to judge the
+//!   cost-effectiveness of collector I/O ("the SAIO policy could use
+//!   information provided by the SAGA heuristics to determine the
+//!   cost-effectiveness of the I/O operations being performed").
+
+pub mod coupled;
+pub mod opportunistic;

@@ -1,0 +1,255 @@
+//! Partition-selection policies.
+//!
+//! Given per-partition facts, a selector picks which partition the next
+//! collection should process. The paper's experiments use UPDATEDPOINTER
+//! (from the authors' SIGMOD'94 partition-selection study): collect the
+//! partition whose objects lost the most pointers since it was last
+//! collected, because pointer overwrites correlate strongly with garbage.
+
+use odbgc_store::{PartitionId, PartitionSnapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A policy choosing which partition to collect next.
+///
+/// `select` returns `None` only when there are no partitions at all; with
+/// at least one partition every policy returns a choice (a policy-directed
+/// collection always runs, even if it turns out to reclaim nothing — the
+/// I/O it spends is real and the rate policies must observe it).
+pub trait PartitionSelector {
+    /// Chooses the partition the next collection should process.
+    fn select(&mut self, partitions: &[PartitionSnapshot]) -> Option<PartitionId>;
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// UPDATEDPOINTER: the partition with the most pointer overwrites since
+/// its last collection. Ties go to the least-recently-collected partition,
+/// then to the lowest id, which keeps the policy deterministic.
+#[derive(Debug, Default, Clone)]
+pub struct UpdatedPointerSelector;
+
+impl PartitionSelector for UpdatedPointerSelector {
+    fn select(&mut self, partitions: &[PartitionSnapshot]) -> Option<PartitionId> {
+        partitions
+            .iter()
+            .max_by(|a, b| {
+                a.overwrites
+                    .cmp(&b.overwrites)
+                    // fewer past collections = staler = preferred on ties
+                    .then(b.collections.cmp(&a.collections))
+                    .then(b.id.cmp(&a.id))
+            })
+            .map(|s| s.id)
+    }
+
+    fn name(&self) -> &'static str {
+        "updated-pointer"
+    }
+}
+
+/// Uniform random selection (the baseline the paper contrasts with when
+/// explaining CGS/CB's bias in §4.1.2).
+#[derive(Debug)]
+pub struct RandomSelector {
+    rng: StdRng,
+}
+
+impl RandomSelector {
+    /// A selector with its own seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        RandomSelector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PartitionSelector for RandomSelector {
+    fn select(&mut self, partitions: &[PartitionSnapshot]) -> Option<PartitionId> {
+        if partitions.is_empty() {
+            None
+        } else {
+            let i = self.rng.random_range(0..partitions.len());
+            Some(partitions[i].id)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Cycles through partitions in id order.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobinSelector {
+    next: u32,
+}
+
+impl PartitionSelector for RoundRobinSelector {
+    fn select(&mut self, partitions: &[PartitionSnapshot]) -> Option<PartitionId> {
+        if partitions.is_empty() {
+            return None;
+        }
+        // Partitions are dense 0..n; wrap the cursor.
+        let n = partitions.len() as u32;
+        let choice = self.next % n;
+        self.next = (choice + 1) % n;
+        Some(PartitionId::new(choice))
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Oracle: the partition holding the most actual garbage bytes. Not
+/// realizable (requires exact per-partition garbage knowledge); used as an
+/// upper-bound baseline in ablation studies.
+#[derive(Debug, Default, Clone)]
+pub struct MostGarbageOracle;
+
+impl PartitionSelector for MostGarbageOracle {
+    fn select(&mut self, partitions: &[PartitionSnapshot]) -> Option<PartitionId> {
+        partitions
+            .iter()
+            .max_by(|a, b| {
+                a.garbage_bytes
+                    .cmp(&b.garbage_bytes)
+                    .then(b.id.cmp(&a.id))
+            })
+            .map(|s| s.id)
+    }
+
+    fn name(&self) -> &'static str {
+        "most-garbage-oracle"
+    }
+}
+
+/// Enumerable selector configuration, convenient for experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectorKind {
+    /// The paper's policy: most pointer overwrites since last collection.
+    #[default]
+    UpdatedPointer,
+    /// Uniform random choice.
+    Random,
+    /// Cycle through partitions in id order.
+    RoundRobin,
+    /// Oracle: the partition with the most actual garbage.
+    MostGarbageOracle,
+}
+
+impl SelectorKind {
+    /// Instantiates the selector. `seed` is used only by [`RandomSelector`].
+    pub fn build(self, seed: u64) -> Box<dyn PartitionSelector> {
+        match self {
+            SelectorKind::UpdatedPointer => Box::new(UpdatedPointerSelector),
+            SelectorKind::Random => Box::new(RandomSelector::new(seed)),
+            SelectorKind::RoundRobin => Box::new(RoundRobinSelector::default()),
+            SelectorKind::MostGarbageOracle => Box::new(MostGarbageOracle),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(id: u32, overwrites: u64, garbage: u64, collections: u64) -> PartitionSnapshot {
+        PartitionSnapshot {
+            id: PartitionId::new(id),
+            overwrites,
+            occupied_bytes: 0,
+            capacity: 256,
+            residents: 0,
+            collections,
+            garbage_bytes: garbage,
+            live_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn updated_pointer_picks_max_overwrites() {
+        let mut sel = UpdatedPointerSelector;
+        let parts = vec![snap(0, 5, 0, 0), snap(1, 9, 0, 0), snap(2, 3, 0, 0)];
+        assert_eq!(sel.select(&parts), Some(PartitionId::new(1)));
+    }
+
+    #[test]
+    fn updated_pointer_tie_break_prefers_stale_then_low_id() {
+        let mut sel = UpdatedPointerSelector;
+        let parts = vec![snap(0, 5, 0, 3), snap(1, 5, 0, 1), snap(2, 5, 0, 1)];
+        // Partitions 1 and 2 are equally stale; lowest id wins.
+        assert_eq!(sel.select(&parts), Some(PartitionId::new(1)));
+    }
+
+    #[test]
+    fn updated_pointer_with_no_overwrites_still_selects() {
+        let mut sel = UpdatedPointerSelector;
+        let parts = vec![snap(0, 0, 0, 2), snap(1, 0, 0, 0)];
+        assert_eq!(sel.select(&parts), Some(PartitionId::new(1)));
+    }
+
+    #[test]
+    fn selectors_return_none_without_partitions() {
+        assert_eq!(UpdatedPointerSelector.select(&[]), None);
+        assert_eq!(RandomSelector::new(1).select(&[]), None);
+        assert_eq!(RoundRobinSelector::default().select(&[]), None);
+        assert_eq!(MostGarbageOracle.select(&[]), None);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut sel = RoundRobinSelector::default();
+        let parts = vec![snap(0, 0, 0, 0), snap(1, 0, 0, 0), snap(2, 0, 0, 0)];
+        let picks: Vec<u32> = (0..5).map(|_| sel.select(&parts).unwrap().raw()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn round_robin_handles_shrinking_view() {
+        let mut sel = RoundRobinSelector::default();
+        let three = vec![snap(0, 0, 0, 0), snap(1, 0, 0, 0), snap(2, 0, 0, 0)];
+        sel.select(&three);
+        sel.select(&three);
+        let one = vec![snap(0, 0, 0, 0)];
+        assert_eq!(sel.select(&one), Some(PartitionId::new(0)));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let parts = vec![snap(0, 0, 0, 0), snap(1, 0, 0, 0)];
+        let a: Vec<u32> = {
+            let mut s = RandomSelector::new(42);
+            (0..10).map(|_| s.select(&parts).unwrap().raw()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut s = RandomSelector::new(42);
+            (0..10).map(|_| s.select(&parts).unwrap().raw()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x < 2));
+    }
+
+    #[test]
+    fn most_garbage_oracle_picks_max_garbage() {
+        let mut sel = MostGarbageOracle;
+        let parts = vec![snap(0, 9, 10, 0), snap(1, 0, 99, 0), snap(2, 1, 50, 0)];
+        assert_eq!(sel.select(&parts), Some(PartitionId::new(1)));
+    }
+
+    #[test]
+    fn kind_builds_named_selectors() {
+        assert_eq!(
+            SelectorKind::UpdatedPointer.build(0).name(),
+            "updated-pointer"
+        );
+        assert_eq!(SelectorKind::Random.build(0).name(), "random");
+        assert_eq!(SelectorKind::RoundRobin.build(0).name(), "round-robin");
+        assert_eq!(
+            SelectorKind::MostGarbageOracle.build(0).name(),
+            "most-garbage-oracle"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! The four-phase test application (Figure 2).
+
+use odbgc_trace::Trace;
+
+use crate::builder::build;
+use crate::params::Oo7Params;
+use crate::reorg::{reorg_clustered, reorg_declustered};
+use crate::stats::DbCharacteristics;
+use crate::traverse::traverse;
+
+/// The application phases, in the paper's order (§3.4): the traversal sits
+/// *between* the two reorganizations to sharpen phase transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Build the initial database.
+    GenDb,
+    /// Delete half the parts per composite, reinsert clustered.
+    Reorg1,
+    /// Read-only depth-first traversal.
+    Traverse,
+    /// Delete half again, reinsert declustered across composites.
+    Reorg2,
+}
+
+impl Phase {
+    /// The paper's standard sequence.
+    pub const STANDARD: [Phase; 4] = [Phase::GenDb, Phase::Reorg1, Phase::Traverse, Phase::Reorg2];
+
+    /// Phase name as it appears in trace phase markers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::GenDb => "GenDB",
+            Phase::Reorg1 => "Reorg1",
+            Phase::Traverse => "Traverse",
+            Phase::Reorg2 => "Reorg2",
+        }
+    }
+}
+
+/// The OO7 test application: generates the full trace for a parameter set
+/// and seed.
+///
+/// ```
+/// use odbgc_oo7::{Oo7App, Oo7Params};
+///
+/// let app = Oo7App::standard(Oo7Params::tiny(), 1);
+/// let (trace, characteristics) = app.generate();
+/// assert_eq!(
+///     trace.phase_names(),
+///     &["GenDB", "Reorg1", "Traverse", "Reorg2"]
+/// );
+/// assert_eq!(characteristics.counts[&odbgc_oo7::Kind::CompositePart], 4);
+/// // Deterministic: same seed, same trace.
+/// assert_eq!(trace, Oo7App::standard(Oo7Params::tiny(), 1).generate().0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Oo7App {
+    params: Oo7Params,
+    seed: u64,
+    phases: Vec<Phase>,
+}
+
+impl Oo7App {
+    /// The standard four-phase application.
+    pub fn standard(params: Oo7Params, seed: u64) -> Self {
+        Oo7App {
+            params,
+            seed,
+            phases: Phase::STANDARD.to_vec(),
+        }
+    }
+
+    /// A custom phase sequence. `GenDb` must come first (it is implicit:
+    /// the database always gets built).
+    pub fn with_phases(params: Oo7Params, seed: u64, phases: Vec<Phase>) -> Self {
+        assert_eq!(phases.first(), Some(&Phase::GenDb), "GenDB must be first");
+        Oo7App {
+            params,
+            seed,
+            phases,
+        }
+    }
+
+    /// The database parameters.
+    pub fn params(&self) -> &Oo7Params {
+        &self.params
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates the trace, returning it with the post-GenDB database
+    /// characteristics (for Table-1-style reports).
+    pub fn generate(&self) -> (Trace, DbCharacteristics) {
+        let mut state = build(self.params, self.seed);
+        let initial = DbCharacteristics::measure(&state);
+        for phase in self.phases.iter().skip(1) {
+            match phase {
+                Phase::GenDb => unreachable!("GenDB only occurs first"),
+                Phase::Reorg1 => reorg_clustered(&mut state),
+                Phase::Traverse => {
+                    traverse(&mut state);
+                }
+                Phase::Reorg2 => reorg_declustered(&mut state),
+            }
+        }
+        (state.trace.finish(), initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbgc_store::{Store, StoreConfig};
+    use odbgc_trace::EventKind;
+
+    #[test]
+    fn standard_app_produces_four_phases_in_order() {
+        let app = Oo7App::standard(Oo7Params::tiny(), 1);
+        let (trace, _chars) = app.generate();
+        assert_eq!(
+            trace.phase_names(),
+            &["GenDB", "Reorg1", "Traverse", "Reorg2"]
+        );
+        assert_eq!(trace.stats().count(EventKind::Phase), 4);
+    }
+
+    #[test]
+    fn full_trace_replays_with_exact_tracking() {
+        let app = Oo7App::standard(Oo7Params::tiny(), 2);
+        let (trace, _chars) = app.generate();
+        let mut store = Store::new(StoreConfig::tiny());
+        for ev in trace.iter() {
+            store.apply(ev).expect("full app trace must replay cleanly");
+        }
+        store.assert_garbage_exact();
+        assert!(store.total_garbage_generated() > 0);
+        // Without a collector, all generated garbage is still resident.
+        assert_eq!(store.garbage_bytes(), store.total_garbage_generated());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let app = Oo7App::standard(Oo7Params::tiny(), 7);
+        let (a, _) = app.generate();
+        let (b, _) = app.generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn characteristics_come_from_the_initial_database() {
+        let app = Oo7App::standard(Oo7Params::tiny(), 3);
+        let (_, chars) = app.generate();
+        // Initial census: full part population.
+        assert_eq!(
+            chars.counts[&crate::schema::Kind::AtomicPart],
+            Oo7Params::tiny().num_atomic_parts()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "GenDB must be first")]
+    fn phases_must_start_with_gendb() {
+        Oo7App::with_phases(Oo7Params::tiny(), 1, vec![Phase::Reorg1]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Plain-text table and CSV rendering for experiment output.
+
+use crate::experiment::SweepPoint;
+
+/// Renders rows as an aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as CSV (no quoting — numeric experiment data only).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with fixed precision, rendering NaN as "-".
+pub fn fmt_f(v: f64, prec: usize) -> String {
+    if v.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{v:.prec$}")
+    }
+}
+
+/// Standard table rows for a requested-vs-achieved sweep.
+pub fn sweep_rows(points: &[SweepPoint]) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|p| {
+            vec![
+                fmt_f(p.x, 1),
+                fmt_f(p.mean, 2),
+                fmt_f(p.min, 2),
+                fmt_f(p.max, 2),
+                p.runs.to_string(),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["x", "value"],
+            &[
+                vec!["1".into(), "10.00".into()],
+                vec!["100".into(), "3.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("x"));
+        assert!(lines[0].contains("value"));
+        assert!(lines[2].trim_start().starts_with('1'));
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let c = render_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn fmt_f_handles_nan() {
+        assert_eq!(fmt_f(f64::NAN, 2), "-");
+        assert_eq!(fmt_f(1.2345, 2), "1.23");
+    }
+
+    #[test]
+    fn sweep_rows_shape() {
+        let rows = sweep_rows(&[crate::experiment::sweep_point(5.0, &[4.0, 6.0])]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], vec!["5.0", "5.00", "4.00", "6.00", "2"]);
+    }
+}

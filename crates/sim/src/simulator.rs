@@ -1,0 +1,387 @@
+//! The simulation loop.
+
+use odbgc_core::{CollectionObservation, GarbageEstimator, RatePolicy, Trigger, TriggerElapsed};
+use odbgc_gc::Collector;
+use odbgc_store::{Store, StoreError};
+use odbgc_trace::{Event, Trace};
+
+use crate::config::SimConfig;
+use crate::metrics::RunMetrics;
+use crate::series::CollectionRecord;
+
+/// A simulation failure: the trace could not be replayed.
+#[derive(Debug)]
+pub struct SimError {
+    /// Index of the offending event.
+    pub event_index: usize,
+    /// The store's complaint.
+    pub cause: StoreError,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event {}: {}", self.event_index, self.cause)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Everything one run produced.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-collection series.
+    pub collections: Vec<CollectionRecord>,
+    /// Event-sampled mean garbage percentage over the measured window.
+    pub garbage_pct_mean: Option<f64>,
+    /// GC share of I/O over the measured window, percent.
+    pub gc_io_pct: Option<f64>,
+    /// Total application page I/O.
+    pub app_io_total: u64,
+    /// Total collector page I/O.
+    pub gc_io_total: u64,
+    /// `TotGarb` at end of run (bytes).
+    pub total_garbage_generated: u64,
+    /// `TotColl` at end of run (bytes).
+    pub total_garbage_collected: u64,
+    /// Allocated storage at end of run (bytes).
+    pub final_db_size: u64,
+    /// Live bytes at end of run.
+    pub final_live_bytes: u64,
+    /// Garbage bytes remaining at end of run.
+    pub final_garbage_bytes: u64,
+    /// Partitions allocated by end of run.
+    pub partition_count: u64,
+    /// Total pointer overwrites replayed.
+    pub overwrite_clock: u64,
+    /// Events replayed (the whole trace on success).
+    pub events_replayed: u64,
+    /// `(phase name, event index, collections done at phase start)`.
+    pub phases: Vec<(String, u64, u64)>,
+}
+
+impl RunResult {
+    /// Total I/O operations (application + collector).
+    pub fn total_io(&self) -> u64 {
+        self.app_io_total + self.gc_io_total
+    }
+
+    /// GC share of I/O over the whole run (not window-restricted).
+    pub fn gc_io_pct_whole_run(&self) -> f64 {
+        if self.total_io() == 0 {
+            0.0
+        } else {
+            100.0 * self.gc_io_total as f64 / self.total_io() as f64
+        }
+    }
+
+    /// Number of collections performed.
+    pub fn collection_count(&self) -> u64 {
+        self.collections.len() as u64
+    }
+
+    /// GC share of I/O computed post hoc from the collection series,
+    /// excluding the first `preamble` collections. Unlike
+    /// [`RunResult::gc_io_pct`], this works for any preamble ≤ the number
+    /// of collections, so sweeps whose extreme settings produce few
+    /// collections can shorten the preamble (the paper's preambles range
+    /// from 10 to 30 "depending on the simulation parameters").
+    pub fn windowed_gc_io_pct(&self, preamble: u64) -> Option<f64> {
+        if (self.collections.len() as u64) <= preamble {
+            return None;
+        }
+        let skip_app: u64 = self
+            .collections
+            .iter()
+            .take(preamble as usize)
+            .map(|r| r.app_io_since_prev)
+            .sum();
+        let skip_gc: u64 = self
+            .collections
+            .iter()
+            .take(preamble as usize)
+            .map(|r| r.gc_io)
+            .sum();
+        let app = self.app_io_total - skip_app;
+        let gc = self.gc_io_total - skip_gc;
+        let total = app + gc;
+        (total > 0).then(|| 100.0 * gc as f64 / total as f64)
+    }
+}
+
+/// The trace-driven simulator.
+///
+/// ```
+/// use odbgc_sim::core_policies::SaioPolicy;
+/// use odbgc_sim::oo7::{Oo7App, Oo7Params};
+/// use odbgc_sim::{SimConfig, Simulator};
+///
+/// let (trace, _) = Oo7App::standard(Oo7Params::tiny(), 1).generate();
+/// let mut policy = SaioPolicy::with_frac(0.10);
+/// let result = Simulator::new(SimConfig::tiny())
+///     .run(&trace, &mut policy)
+///     .expect("trace replays cleanly");
+/// assert!(result.collection_count() > 0);
+/// assert_eq!(
+///     result.total_garbage_generated,
+///     result.total_garbage_collected + result.final_garbage_bytes
+/// );
+/// ```
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// A simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// Replays `trace` under `policy`, collecting per the configuration.
+    pub fn run(&self, trace: &Trace, policy: &mut dyn RatePolicy) -> Result<RunResult, SimError> {
+        let mut store = Store::new(self.config.store.clone());
+        let mut collector = Collector::new(self.config.selector.build(self.config.selector_seed));
+        let mut metrics = RunMetrics::new(self.config.preamble_collections);
+        let mut shadow: Option<Box<dyn GarbageEstimator>> =
+            self.config.shadow_estimator.map(|k| k.build());
+
+        let mut records: Vec<CollectionRecord> = Vec::new();
+        let mut phases: Vec<(String, u64, u64)> = Vec::new();
+
+        let mut trigger: Trigger = policy.initial_trigger();
+        // Interval baselines (at the last collection).
+        let mut app_io_base = 0u64;
+        let mut clock_base = 0u64;
+        let mut alloc_base = 0u64;
+        // Cached database size, refreshed when the partition count moves.
+        let mut cached_partitions = 0usize;
+        let mut cached_db_size = 0u64;
+
+        for (i, ev) in trace.iter().enumerate() {
+            if let Event::Phase { id } = ev {
+                let name = trace.phase_name(*id).unwrap_or("<unknown>").to_owned();
+                phases.push((name, i as u64, records.len() as u64));
+            }
+            store.apply(ev).map_err(|cause| SimError {
+                event_index: i,
+                cause,
+            })?;
+
+            if store.partition_count() != cached_partitions {
+                cached_partitions = store.partition_count();
+                cached_db_size = store.db_size_bytes();
+            }
+            metrics.sample_event(store.garbage_bytes(), cached_db_size);
+
+            let elapsed = TriggerElapsed::new(
+                store.io().app_total() - app_io_base,
+                store.overwrite_clock() - clock_base,
+                store.alloc_clock() - alloc_base,
+            );
+            if trigger.is_due(elapsed) {
+                if self.config.exact_oracle_recompute {
+                    store.recompute_garbage_exact();
+                }
+                let app_io_since_prev = store.io().app_total() - app_io_base;
+                let Some(outcome) = collector.collect_once(&mut store) else {
+                    // No partitions yet (trace starts with phase markers
+                    // only); re-arm and continue.
+                    continue;
+                };
+                cached_partitions = store.partition_count();
+                cached_db_size = store.db_size_bytes();
+
+                let obs = CollectionObservation {
+                    collection_index: records.len() as u64,
+                    gc_io: outcome.gc_io(),
+                    app_io_since_prev,
+                    bytes_reclaimed: outcome.bytes_reclaimed,
+                    overwrites_of_collected: outcome.overwrites_at_collection,
+                    total_outstanding_overwrites: store.total_outstanding_overwrites(),
+                    partition_count: store.partition_count() as u64,
+                    db_size: cached_db_size,
+                    total_collected: store.total_garbage_collected(),
+                    overwrite_clock: store.overwrite_clock(),
+                    alloc_clock: store.alloc_clock(),
+                    exact_garbage: store.garbage_bytes(),
+                };
+                let estimated = shadow.as_mut().map(|e| e.estimate(&obs));
+
+                records.push(CollectionRecord {
+                    index: obs.collection_index,
+                    clock: obs.overwrite_clock,
+                    interval_overwrites: store.overwrite_clock() - clock_base,
+                    app_io_since_prev,
+                    gc_io: obs.gc_io,
+                    bytes_reclaimed: obs.bytes_reclaimed,
+                    partition: outcome.partition.raw(),
+                    db_size: obs.db_size,
+                    actual_garbage: obs.exact_garbage,
+                    estimated_garbage: estimated,
+                    gc_io_fraction_cum: store.io().gc_fraction(),
+                });
+                metrics.note_collection(store.io().app_total(), store.io().gc_total());
+
+                if self.config.deep_checks {
+                    store.assert_consistent();
+                    store.assert_garbage_exact();
+                }
+                trigger = policy.after_collection(&obs);
+                app_io_base = store.io().app_total();
+                clock_base = store.overwrite_clock();
+                alloc_base = store.alloc_clock();
+            }
+        }
+
+        Ok(RunResult {
+            garbage_pct_mean: metrics.garbage_pct_mean(),
+            gc_io_pct: metrics.gc_io_pct(store.io().app_total(), store.io().gc_total()),
+            collections: records,
+            app_io_total: store.io().app_total(),
+            gc_io_total: store.io().gc_total(),
+            total_garbage_generated: store.total_garbage_generated(),
+            total_garbage_collected: store.total_garbage_collected(),
+            final_db_size: store.db_size_bytes(),
+            final_live_bytes: store.live_bytes(),
+            final_garbage_bytes: store.garbage_bytes(),
+            partition_count: store.partition_count() as u64,
+            overwrite_clock: store.overwrite_clock(),
+            events_replayed: trace.len() as u64,
+            phases,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbgc_core::{FixedRatePolicy, SagaConfig, SagaPolicy, SaioPolicy};
+    use odbgc_core::{EstimatorKind, Oracle};
+    use odbgc_oo7::{Oo7App, Oo7Params};
+
+    fn tiny_trace(seed: u64) -> Trace {
+        Oo7App::standard(Oo7Params::tiny(), seed).generate().0
+    }
+
+    #[test]
+    fn fixed_rate_collects_on_schedule() {
+        let trace = tiny_trace(1);
+        let sim = Simulator::new(SimConfig::tiny());
+        let mut policy = FixedRatePolicy::new(20);
+        let r = sim.run(&trace, &mut policy).expect("run");
+        assert!(r.collection_count() > 0, "reorgs must trigger collections");
+        // Every realized interval reaches the trigger threshold.
+        for rec in &r.collections {
+            assert!(rec.interval_overwrites >= 20);
+        }
+        assert!(r.total_garbage_collected > 0);
+    }
+
+    #[test]
+    fn saio_policy_runs_and_spends_gc_io() {
+        let trace = tiny_trace(2);
+        let sim = Simulator::new(SimConfig::tiny());
+        let mut policy = SaioPolicy::with_frac(0.10);
+        let r = sim.run(&trace, &mut policy).expect("run");
+        assert!(r.collection_count() > 2);
+        assert!(r.gc_io_total > 0);
+        assert!(r.gc_io_pct.is_some());
+    }
+
+    #[test]
+    fn saga_oracle_policy_runs() {
+        let trace = tiny_trace(3);
+        let mut cfg = SimConfig::tiny();
+        cfg.shadow_estimator = Some(EstimatorKind::Oracle);
+        let sim = Simulator::new(cfg);
+        let mut policy = SagaPolicy::new(SagaConfig::new(0.10), Box::new(Oracle));
+        let r = sim.run(&trace, &mut policy).expect("run");
+        assert!(r.collection_count() > 0);
+        // Shadow oracle estimates equal the recorded actual garbage.
+        for rec in &r.collections {
+            assert_eq!(rec.estimated_garbage, Some(rec.actual_garbage as f64));
+        }
+    }
+
+    #[test]
+    fn phases_are_recorded_in_order() {
+        let trace = tiny_trace(4);
+        let sim = Simulator::new(SimConfig::tiny());
+        let mut policy = FixedRatePolicy::new(50);
+        let r = sim.run(&trace, &mut policy).expect("run");
+        let names: Vec<&str> = r.phases.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["GenDB", "Reorg1", "Traverse", "Reorg2"]);
+        // Phase event indices are increasing.
+        assert!(r.phases.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn never_collecting_policy_accumulates_all_garbage() {
+        let trace = tiny_trace(5);
+        let sim = Simulator::new(SimConfig::tiny());
+        let mut policy = FixedRatePolicy::new(u64::MAX / 4);
+        let r = sim.run(&trace, &mut policy).expect("run");
+        assert_eq!(r.collection_count(), 0);
+        assert_eq!(r.gc_io_total, 0);
+        assert_eq!(r.final_garbage_bytes, r.total_garbage_generated);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let trace = tiny_trace(6);
+        let sim = Simulator::new(SimConfig::tiny());
+        let run = || {
+            let mut policy = SaioPolicy::with_frac(0.05);
+            sim.run(&trace, &mut policy).expect("run")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.collections, b.collections);
+        assert_eq!(a.gc_io_total, b.gc_io_total);
+        assert_eq!(a.garbage_pct_mean, b.garbage_pct_mean);
+    }
+
+    #[test]
+    fn malformed_trace_reports_event_index() {
+        let mut b = odbgc_trace::TraceBuilder::new();
+        b.access(odbgc_trace::ObjectId::new(99));
+        let trace = b.finish();
+        let sim = Simulator::new(SimConfig::tiny());
+        let mut policy = FixedRatePolicy::new(10);
+        let e = sim.run(&trace, &mut policy).unwrap_err();
+        assert_eq!(e.event_index, 0);
+        assert!(e.to_string().contains("event 0"));
+    }
+
+    #[test]
+    fn windowed_gc_io_pct_matches_metrics_window() {
+        let trace = tiny_trace(8);
+        let cfg = SimConfig::tiny(); // preamble 2
+        let sim = Simulator::new(cfg);
+        let mut policy = SaioPolicy::with_frac(0.10);
+        let r = sim.run(&trace, &mut policy).expect("run");
+        assert!(r.collection_count() > 2);
+        let post_hoc = r.windowed_gc_io_pct(2).expect("window exists");
+        let live = r.gc_io_pct.expect("window exists");
+        assert!(
+            (post_hoc - live).abs() < 1e-9,
+            "post-hoc {post_hoc} vs live {live}"
+        );
+        // Too-long preamble yields None.
+        assert_eq!(r.windowed_gc_io_pct(r.collection_count()), None);
+    }
+
+    #[test]
+    fn higher_fixed_rate_means_fewer_collections_and_less_gc_io() {
+        let trace = tiny_trace(7);
+        let sim = Simulator::new(SimConfig::tiny());
+        let run = |rate| {
+            let mut p = FixedRatePolicy::new(rate);
+            sim.run(&trace, &mut p).expect("run")
+        };
+        let fast = run(10);
+        let slow = run(200);
+        assert!(fast.collection_count() > slow.collection_count());
+        assert!(fast.gc_io_total > slow.gc_io_total);
+        // Slower collection leaves more garbage behind on average.
+        assert!(fast.total_garbage_collected >= slow.total_garbage_collected);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: the simulator is total over valid workloads and
+//! arbitrary policy/selector combinations — no panic, no accounting drift.
+
+use proptest::prelude::*;
+
+use odbgc_sim::core_policies::{
+    EstimatorKind, FixedRatePolicy, RatePolicy, SagaConfig, SagaPolicy, SaioPolicy,
+};
+use odbgc_sim::gc::SelectorKind;
+use odbgc_sim::store::StoreConfig;
+use odbgc_sim::trace::synthetic::{churn, ChurnConfig};
+use odbgc_sim::{SimConfig, Simulator};
+
+fn arb_policy() -> impl Strategy<Value = usize> {
+    0usize..4
+}
+
+fn build_policy(which: usize, frac: f64, rate: u64) -> Box<dyn RatePolicy> {
+    match which {
+        0 => Box::new(FixedRatePolicy::new(rate)),
+        1 => Box::new(SaioPolicy::with_frac(frac)),
+        2 => Box::new(SagaPolicy::new(
+            SagaConfig {
+                dt_max: 64,
+                ..SagaConfig::new(frac.min(0.5))
+            },
+            EstimatorKind::Oracle.build(),
+        )),
+        _ => Box::new(SagaPolicy::new(
+            SagaConfig {
+                dt_max: 64,
+                ..SagaConfig::new(frac.min(0.5))
+            },
+            EstimatorKind::fgs_hb_default().build(),
+        )),
+    }
+}
+
+fn arb_selector() -> impl Strategy<Value = SelectorKind> {
+    prop_oneof![
+        Just(SelectorKind::UpdatedPointer),
+        Just(SelectorKind::Random),
+        Just(SelectorKind::RoundRobin),
+        Just(SelectorKind::MostGarbageOracle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_policy_on_any_churn_workload_keeps_accounting(
+        seed in any::<u64>(),
+        steps in 50usize..400,
+        which in arb_policy(),
+        selector in arb_selector(),
+        frac in 0.02f64..0.6,
+        rate in 2u64..60,
+    ) {
+        let cfg = ChurnConfig { steps, ..ChurnConfig::default() };
+        let trace = churn(&cfg, seed);
+        let sim_config = SimConfig {
+            store: StoreConfig::tiny(),
+            selector,
+            selector_seed: seed,
+            preamble_collections: 2,
+            // Deep audit after every collection: remsets, refcounts,
+            // extents, ledgers.
+            deep_checks: true,
+            exact_oracle_recompute: true,
+            shadow_estimator: Some(EstimatorKind::fgs_hb_default()),
+        };
+        let mut policy = build_policy(which, frac, rate);
+        let r = Simulator::new(sim_config)
+            .run(&trace, policy.as_mut())
+            .expect("synthetic workloads always replay");
+        // Conservation holds for every combination.
+        prop_assert_eq!(
+            r.total_garbage_generated,
+            r.total_garbage_collected + r.final_garbage_bytes
+        );
+        prop_assert!(r.final_db_size >= r.final_live_bytes);
+        prop_assert_eq!(r.events_replayed, trace.len() as u64);
+        // Series totals agree with ledgers.
+        let gc_io: u64 = r.collections.iter().map(|c| c.gc_io).sum();
+        prop_assert_eq!(gc_io, r.gc_io_total);
+    }
+
+    #[test]
+    fn simulation_of_merged_workloads_is_total(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        interleave_seed in any::<u64>(),
+    ) {
+        let cfg = ChurnConfig { steps: 150, ..ChurnConfig::default() };
+        let a = churn(&cfg, seed_a);
+        let b = churn(&cfg, seed_b);
+        let merged = odbgc_sim::trace::merge::interleave(&[a, b], interleave_seed);
+        let mut policy = SaioPolicy::with_frac(0.1);
+        let r = Simulator::new(SimConfig {
+            store: StoreConfig::tiny(),
+            preamble_collections: 2,
+            deep_checks: true,
+            ..SimConfig::default()
+        })
+        .run(&merged, &mut policy)
+        .expect("merged synthetic workloads replay");
+        prop_assert_eq!(r.events_replayed, merged.len() as u64);
+    }
+}

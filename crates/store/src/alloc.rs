@@ -1,0 +1,108 @@
+//! Object placement.
+//!
+//! Following §3.1 of the paper, allocation is decoupled from collection:
+//! when no existing partition has room, a new partition is simply appended.
+//! Lack of free space never triggers a collection.
+
+use crate::config::{AllocPolicy, StoreConfig};
+use crate::ids::PartitionId;
+use crate::partition::Partition;
+
+/// Chooses a partition and offset for a new object of `size` bytes,
+/// appending a partition if necessary. Objects larger than a regular
+/// partition get a dedicated, larger partition sized in whole pages.
+pub fn place(
+    partitions: &mut Vec<Partition>,
+    config: &StoreConfig,
+    size: u32,
+) -> (PartitionId, u32) {
+    debug_assert!(size >= 1);
+    match config.alloc_policy {
+        AllocPolicy::FirstFit => {
+            for (i, p) in partitions.iter_mut().enumerate() {
+                if p.fits(size) {
+                    let offset = p.append(size);
+                    return (PartitionId::new(i as u32), offset);
+                }
+            }
+        }
+        AllocPolicy::AppendOnly => {
+            if let Some(p) = partitions.last_mut() {
+                if p.fits(size) {
+                    let offset = p.append(size);
+                    return (PartitionId::new(partitions.len() as u32 - 1), offset);
+                }
+            }
+        }
+    }
+    // No existing partition has room: append one (never collect).
+    let pages = config
+        .pages_per_partition
+        .max(size.div_ceil(config.page_size));
+    let mut fresh = Partition::new(pages, config.page_size);
+    let offset = fresh.append(size);
+    partitions.push(fresh);
+    (PartitionId::new(partitions.len() as u32 - 1), offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StoreConfig {
+        StoreConfig::tiny() // 64-byte pages, 4-page (256-byte) partitions
+    }
+
+    #[test]
+    fn first_fit_fills_earliest_partition() {
+        let cfg = cfg();
+        let mut parts = Vec::new();
+        let (p0, o0) = place(&mut parts, &cfg, 100);
+        let (p1, o1) = place(&mut parts, &cfg, 100);
+        let (p2, o2) = place(&mut parts, &cfg, 100); // 300 > 256: new partition
+        let (p3, o3) = place(&mut parts, &cfg, 56); // fits back in partition 0
+        assert_eq!((p0.raw(), o0), (0, 0));
+        assert_eq!((p1.raw(), o1), (0, 100));
+        assert_eq!((p2.raw(), o2), (1, 0));
+        assert_eq!((p3.raw(), o3), (0, 200));
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn append_only_never_backfills() {
+        let cfg = StoreConfig {
+            alloc_policy: AllocPolicy::AppendOnly,
+            ..cfg()
+        };
+        let mut parts = Vec::new();
+        place(&mut parts, &cfg, 100);
+        place(&mut parts, &cfg, 200); // forces partition 1
+        let (p, _) = place(&mut parts, &cfg, 56); // would fit in 0; goes to 1
+        assert_eq!(p.raw(), 1);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn oversized_objects_get_dedicated_partition() {
+        let cfg = cfg();
+        let mut parts = Vec::new();
+        let (p, o) = place(&mut parts, &cfg, 1000); // > 256 bytes
+        assert_eq!((p.raw(), o), (0, 0));
+        assert_eq!(parts[0].pages, 16); // ceil(1000/64)
+        assert_eq!(parts[0].capacity, 1024);
+        // Tail space of the big partition is reusable under first-fit.
+        let (p2, o2) = place(&mut parts, &cfg, 24);
+        assert_eq!((p2.raw(), o2), (0, 1000));
+    }
+
+    #[test]
+    fn exact_fit_boundary() {
+        let cfg = cfg();
+        let mut parts = Vec::new();
+        place(&mut parts, &cfg, 256);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].free_bytes(), 0);
+        let (p, _) = place(&mut parts, &cfg, 1);
+        assert_eq!(p.raw(), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! A small LRU buffer pool.
+//!
+//! The paper sizes the buffer equal to one partition (12 × 8 KiB pages,
+//! §3.1), so the pool is tiny and a linear-scan LRU over a `Vec` is both
+//! simplest and fastest. A buffer miss costs one page read; evicting a
+//! dirty page costs one page write, charged to the I/O class performing the
+//! access that caused the eviction.
+
+use crate::ids::PageKey;
+use crate::io::{IoClass, IoLedger};
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    key: PageKey,
+    dirty: bool,
+    /// Last-use stamp; larger = more recent.
+    stamp: u64,
+}
+
+/// Buffer access statistics (hits/misses per class), separate from the page
+/// I/O ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Application accesses served from the buffer.
+    pub app_hits: u64,
+    /// Application accesses that had to read a page.
+    pub app_misses: u64,
+    /// Collector accesses served from the buffer.
+    pub gc_hits: u64,
+    /// Collector accesses that had to read a page.
+    pub gc_misses: u64,
+    /// Evictions that had to write a dirty page back.
+    pub dirty_evictions: u64,
+}
+
+impl BufferStats {
+    /// Application hit rate in `[0, 1]`; 0 when no accesses.
+    pub fn app_hit_rate(&self) -> f64 {
+        let total = self.app_hits + self.app_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.app_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Fixed-capacity LRU page buffer with dirty-bit tracking.
+#[derive(Debug)]
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    capacity: usize,
+    clock: u64,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Creates a pool holding `capacity` pages.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "buffer must hold at least one page");
+        BufferPool {
+            frames: Vec::with_capacity(capacity as usize),
+            capacity: capacity as usize,
+            clock: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Touches `key` on behalf of `class`, marking it dirty if `dirty`.
+    /// Charges a read to `ledger` on a miss and a write when a dirty page
+    /// must be evicted to make room.
+    pub fn touch(&mut self, key: PageKey, dirty: bool, class: IoClass, ledger: &mut IoLedger) {
+        self.clock += 1;
+        if let Some(frame) = self.frames.iter_mut().find(|f| f.key == key) {
+            frame.stamp = self.clock;
+            frame.dirty |= dirty;
+            match class {
+                IoClass::App => self.stats.app_hits += 1,
+                IoClass::Gc => self.stats.gc_hits += 1,
+            }
+            return;
+        }
+        match class {
+            IoClass::App => self.stats.app_misses += 1,
+            IoClass::Gc => self.stats.gc_misses += 1,
+        }
+        ledger.charge_reads(class, 1);
+        if self.frames.len() == self.capacity {
+            let (victim_idx, _) = self
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.stamp)
+                .expect("capacity > 0 so a victim exists");
+            if self.frames[victim_idx].dirty {
+                ledger.charge_writes(class, 1);
+                self.stats.dirty_evictions += 1;
+            }
+            self.frames.swap_remove(victim_idx);
+        }
+        self.frames.push(Frame {
+            key,
+            dirty,
+            stamp: self.clock,
+        });
+    }
+
+    /// Drops every buffered page satisfying `pred` *without* writing it
+    /// back. The collector uses this when it rewrites a partition wholesale:
+    /// buffered copies are stale and their contents were already persisted
+    /// by the collector's own writes.
+    pub fn invalidate_where(&mut self, mut pred: impl FnMut(PageKey) -> bool) {
+        self.frames.retain(|f| !pred(f.key));
+    }
+
+    /// Is `key` currently buffered?
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.frames.iter().any(|f| f.key == key)
+    }
+
+    /// Is `key` buffered and dirty?
+    pub fn is_dirty(&self, key: PageKey) -> bool {
+        self.frames.iter().any(|f| f.key == key && f.dirty)
+    }
+
+    /// Number of buffered pages.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PartitionId;
+
+    fn key(p: u32, pg: u32) -> PageKey {
+        PageKey::new(PartitionId::new(p), pg)
+    }
+
+    #[test]
+    fn miss_charges_read_hit_charges_nothing() {
+        let mut pool = BufferPool::new(2);
+        let mut io = IoLedger::new();
+        pool.touch(key(0, 0), false, IoClass::App, &mut io);
+        assert_eq!(io.app_reads, 1);
+        pool.touch(key(0, 0), false, IoClass::App, &mut io);
+        assert_eq!(io.app_reads, 1);
+        assert_eq!(pool.stats().app_hits, 1);
+        assert_eq!(pool.stats().app_misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut pool = BufferPool::new(2);
+        let mut io = IoLedger::new();
+        pool.touch(key(0, 0), false, IoClass::App, &mut io);
+        pool.touch(key(0, 1), false, IoClass::App, &mut io);
+        pool.touch(key(0, 0), false, IoClass::App, &mut io); // refresh page 0
+        pool.touch(key(0, 2), false, IoClass::App, &mut io); // evicts page 1
+        assert!(pool.contains(key(0, 0)));
+        assert!(!pool.contains(key(0, 1)));
+        assert!(pool.contains(key(0, 2)));
+    }
+
+    #[test]
+    fn dirty_eviction_charges_write() {
+        let mut pool = BufferPool::new(1);
+        let mut io = IoLedger::new();
+        pool.touch(key(0, 0), true, IoClass::App, &mut io);
+        assert_eq!((io.app_reads, io.app_writes), (1, 0));
+        pool.touch(key(0, 1), false, IoClass::App, &mut io);
+        assert_eq!((io.app_reads, io.app_writes), (2, 1));
+        assert_eq!(pool.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn clean_eviction_charges_no_write() {
+        let mut pool = BufferPool::new(1);
+        let mut io = IoLedger::new();
+        pool.touch(key(0, 0), false, IoClass::App, &mut io);
+        pool.touch(key(0, 1), false, IoClass::App, &mut io);
+        assert_eq!(io.app_writes, 0);
+    }
+
+    #[test]
+    fn dirty_bit_is_sticky() {
+        let mut pool = BufferPool::new(2);
+        let mut io = IoLedger::new();
+        pool.touch(key(0, 0), true, IoClass::App, &mut io);
+        pool.touch(key(0, 0), false, IoClass::App, &mut io);
+        assert!(pool.is_dirty(key(0, 0)));
+    }
+
+    #[test]
+    fn invalidate_drops_without_writeback() {
+        let mut pool = BufferPool::new(4);
+        let mut io = IoLedger::new();
+        pool.touch(key(0, 0), true, IoClass::App, &mut io);
+        pool.touch(key(1, 0), true, IoClass::App, &mut io);
+        let writes_before = io.app_writes + io.gc_writes;
+        pool.invalidate_where(|k| k.partition == PartitionId::new(0));
+        assert!(!pool.contains(key(0, 0)));
+        assert!(pool.contains(key(1, 0)));
+        assert_eq!(io.app_writes + io.gc_writes, writes_before);
+    }
+
+    #[test]
+    fn gc_class_charges_gc_ledger() {
+        let mut pool = BufferPool::new(1);
+        let mut io = IoLedger::new();
+        pool.touch(key(0, 0), true, IoClass::Gc, &mut io);
+        pool.touch(key(0, 1), false, IoClass::Gc, &mut io);
+        assert_eq!(io.gc_reads, 2);
+        assert_eq!(io.gc_writes, 1);
+        assert_eq!(io.app_total(), 0);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut pool = BufferPool::new(3);
+        let mut io = IoLedger::new();
+        for pg in 0..10 {
+            pool.touch(key(0, pg), false, IoClass::App, &mut io);
+        }
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.capacity(), 3);
+    }
+}

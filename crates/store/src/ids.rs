@@ -1,0 +1,105 @@
+//! Storage-level identifiers: partitions and pages.
+
+use std::fmt;
+
+/// Identifier of a partition. Dense: partitions are numbered in creation
+/// order and never disappear (an emptied partition stays allocated and is
+/// reused by the allocator).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(u32);
+
+impl PartitionId {
+    /// Wraps a raw partition number.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        PartitionId(raw)
+    }
+
+    /// The raw partition number.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The partition number as a `usize`, for indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Global page address: a page index within a partition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    /// The partition the page belongs to.
+    pub partition: PartitionId,
+    /// Page index within the partition.
+    pub page: u32,
+}
+
+impl PageKey {
+    /// A page address from its parts.
+    #[inline]
+    pub const fn new(partition: PartitionId, page: u32) -> Self {
+        PageKey { partition, page }
+    }
+}
+
+impl fmt::Debug for PageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}/pg{}", self.partition, self.page)
+    }
+}
+
+/// The inclusive page range `[first, last]` covered by a byte extent
+/// `[offset, offset + size)` under the given page size. `size` must be ≥ 1.
+pub fn page_span(offset: u32, size: u32, page_size: u32) -> (u32, u32) {
+    debug_assert!(size >= 1);
+    let first = offset / page_size;
+    let last = (offset + size - 1) / page_size;
+    (first, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_id_formats() {
+        assert_eq!(format!("{}", PartitionId::new(3)), "P3");
+        assert_eq!(format!("{:?}", PageKey::new(PartitionId::new(3), 1)), "P3/pg1");
+    }
+
+    #[test]
+    fn page_span_single_page() {
+        assert_eq!(page_span(0, 64, 64), (0, 0));
+        assert_eq!(page_span(63, 1, 64), (0, 0));
+    }
+
+    #[test]
+    fn page_span_straddles_boundary() {
+        assert_eq!(page_span(60, 8, 64), (0, 1));
+        assert_eq!(page_span(64, 64, 64), (1, 1));
+        assert_eq!(page_span(0, 129, 64), (0, 2));
+    }
+
+    #[test]
+    fn page_span_large_object() {
+        // 100 KiB object on 8 KiB pages: 13 pages.
+        let (first, last) = page_span(0, 100 * 1024, 8192);
+        assert_eq!(first, 0);
+        assert_eq!(last, 12);
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-object storage metadata.
+
+use odbgc_trace::ObjectId;
+
+use crate::ids::PartitionId;
+
+/// Logical liveness state of an object, as maintained by the exact garbage
+/// tracker and the collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjState {
+    /// Reachable (as far as the incremental tracker knows).
+    Live,
+    /// Unreachable: counted as garbage, still occupying storage.
+    Garbage,
+    /// Physically reclaimed by a collection; the id is retired.
+    Destroyed,
+}
+
+/// Storage record of one object.
+#[derive(Debug, Clone)]
+pub struct ObjectInfo {
+    /// Object size in bytes (≥ 1).
+    pub size: u32,
+    /// Partition the object currently resides in.
+    pub partition: PartitionId,
+    /// Byte offset of the object within its partition.
+    pub offset: u32,
+    /// Pointer slots. `None` = null pointer.
+    pub slots: Box<[Option<ObjectId>]>,
+    /// Incoming references from live holders plus root pins plus the birth
+    /// pin. Maintained by the garbage tracker; an object whose count
+    /// reaches zero is garbage.
+    pub refcount: u32,
+    /// Liveness state.
+    pub state: ObjState,
+    /// Is the object currently in the root set?
+    pub is_root: bool,
+    /// A newborn object is held by a transient application register (the
+    /// variable the program created it into) until its first incoming
+    /// reference or root registration arrives. The pin contributes one
+    /// reference count and makes the object a collection root of its
+    /// partition; it is dropped — replaced by the incoming reference —
+    /// the first time the object is referenced.
+    pub birth_pin: bool,
+}
+
+impl ObjectInfo {
+    /// A fresh live object.
+    pub fn new(size: u32, partition: PartitionId, offset: u32, slots: Box<[Option<ObjectId>]>) -> Self {
+        ObjectInfo {
+            size,
+            partition,
+            offset,
+            slots,
+            refcount: 1, // the birth pin
+            state: ObjState::Live,
+            is_root: false,
+            birth_pin: true,
+        }
+    }
+
+    /// Reachable per the tracker.
+    pub fn is_live(&self) -> bool {
+        self.state == ObjState::Live
+    }
+
+    /// Unreachable but still occupying storage.
+    pub fn is_garbage(&self) -> bool {
+        self.state == ObjState::Garbage
+    }
+
+    /// Physically reclaimed.
+    pub fn is_destroyed(&self) -> bool {
+        self.state == ObjState::Destroyed
+    }
+
+    /// Physically present in storage (live or garbage, not yet reclaimed).
+    pub fn is_present(&self) -> bool {
+        self.state != ObjState::Destroyed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_object_is_live_unrooted_and_birth_pinned() {
+        let o = ObjectInfo::new(64, PartitionId::new(0), 0, Box::new([None, None]));
+        assert!(o.is_live());
+        assert!(o.is_present());
+        assert!(!o.is_root);
+        assert!(o.birth_pin);
+        assert_eq!(o.refcount, 1);
+        assert_eq!(o.slots.len(), 2);
+    }
+
+    #[test]
+    fn state_predicates() {
+        let mut o = ObjectInfo::new(8, PartitionId::new(1), 16, Box::new([]));
+        o.state = ObjState::Garbage;
+        assert!(o.is_garbage() && o.is_present() && !o.is_live());
+        o.state = ObjState::Destroyed;
+        assert!(o.is_destroyed() && !o.is_present());
+    }
+}

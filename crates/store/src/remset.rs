@@ -1,0 +1,177 @@
+//! Remembered sets: per-partition records of incoming cross-partition
+//! references.
+//!
+//! Partitioned collection treats every reference into the collected
+//! partition from *outside* it as a root (plus global roots resident
+//! inside), and does not traverse pointers leaving the partition. The
+//! remembered set therefore tracks *physical* pointers — including those
+//! held by objects that are already unreachable — because the collector
+//! cannot know a remote holder is garbage. This is the standard
+//! conservatism of partitioned GC: garbage chains that cross partitions are
+//! reclaimed only once the referencing partition is collected first.
+
+use std::collections::HashMap;
+
+use odbgc_trace::{ObjectId, SlotIdx};
+
+use crate::ids::PartitionId;
+
+/// One remembered reference: a slot of `src` (in another partition)
+/// pointing at `target` (in this set's partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemEntry {
+    /// The referencing object (in another partition).
+    pub src: ObjectId,
+    /// The slot of `src` holding the pointer.
+    pub slot: SlotIdx,
+}
+
+/// Remembered sets for all partitions.
+#[derive(Debug, Default)]
+pub struct RemSets {
+    /// `sets[p]` maps (src, slot) → target for every cross-partition
+    /// pointer into partition `p`.
+    sets: Vec<HashMap<RemEntry, ObjectId>>,
+}
+
+impl RemSets {
+    /// Empty remembered sets.
+    pub fn new() -> Self {
+        RemSets::default()
+    }
+
+    fn ensure(&mut self, p: PartitionId) -> &mut HashMap<RemEntry, ObjectId> {
+        if self.sets.len() <= p.index() {
+            self.sets.resize_with(p.index() + 1, HashMap::new);
+        }
+        &mut self.sets[p.index()]
+    }
+
+    /// Records that `src.slots[slot]` (src in `src_partition`) now points at
+    /// `target` living in `target_partition`. Intra-partition pointers are
+    /// not remembered.
+    pub fn insert(
+        &mut self,
+        src: ObjectId,
+        slot: SlotIdx,
+        src_partition: PartitionId,
+        target: ObjectId,
+        target_partition: PartitionId,
+    ) {
+        if src_partition == target_partition {
+            return;
+        }
+        self.ensure(target_partition)
+            .insert(RemEntry { src, slot }, target);
+    }
+
+    /// Removes the remembered entry for `src.slots[slot]` pointing into
+    /// `target_partition`, if present.
+    pub fn remove(&mut self, src: ObjectId, slot: SlotIdx, target_partition: PartitionId) {
+        if let Some(set) = self.sets.get_mut(target_partition.index()) {
+            set.remove(&RemEntry { src, slot });
+        }
+    }
+
+    /// The distinct target objects referenced into `p` from outside — the
+    /// external component of `p`'s collection roots.
+    pub fn external_targets(&self, p: PartitionId) -> Vec<ObjectId> {
+        match self.sets.get(p.index()) {
+            Some(set) => {
+                let mut v: Vec<ObjectId> = set.values().copied().collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of remembered entries into `p`.
+    pub fn entry_count(&self, p: PartitionId) -> usize {
+        self.sets.get(p.index()).map_or(0, HashMap::len)
+    }
+
+    /// Drops every entry into `p` whose target satisfies `pred`. Used after
+    /// a collection to forget references to destroyed objects.
+    pub fn retain_targets(&mut self, p: PartitionId, mut pred: impl FnMut(ObjectId) -> bool) {
+        if let Some(set) = self.sets.get_mut(p.index()) {
+            set.retain(|_, target| pred(*target));
+        }
+    }
+
+    /// Total remembered entries across all partitions (space-overhead
+    /// metric).
+    pub fn total_entries(&self) -> usize {
+        self.sets.iter().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u32) -> PartitionId {
+        PartitionId::new(n)
+    }
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+    fn s(n: u32) -> SlotIdx {
+        SlotIdx::new(n)
+    }
+
+    #[test]
+    fn cross_partition_refs_are_remembered() {
+        let mut rs = RemSets::new();
+        rs.insert(oid(1), s(0), pid(0), oid(9), pid(1));
+        assert_eq!(rs.external_targets(pid(1)), vec![oid(9)]);
+        assert_eq!(rs.entry_count(pid(1)), 1);
+        assert_eq!(rs.external_targets(pid(0)), Vec::<ObjectId>::new());
+    }
+
+    #[test]
+    fn intra_partition_refs_are_not() {
+        let mut rs = RemSets::new();
+        rs.insert(oid(1), s(0), pid(2), oid(9), pid(2));
+        assert_eq!(rs.entry_count(pid(2)), 0);
+    }
+
+    #[test]
+    fn remove_erases_specific_slot() {
+        let mut rs = RemSets::new();
+        rs.insert(oid(1), s(0), pid(0), oid(9), pid(1));
+        rs.insert(oid(1), s(1), pid(0), oid(9), pid(1));
+        rs.remove(oid(1), s(0), pid(1));
+        assert_eq!(rs.entry_count(pid(1)), 1);
+        // The surviving entry still makes o9 a root of P1.
+        assert_eq!(rs.external_targets(pid(1)), vec![oid(9)]);
+    }
+
+    #[test]
+    fn targets_are_deduped() {
+        let mut rs = RemSets::new();
+        rs.insert(oid(1), s(0), pid(0), oid(9), pid(1));
+        rs.insert(oid(2), s(0), pid(0), oid(9), pid(1));
+        rs.insert(oid(2), s(1), pid(0), oid(8), pid(1));
+        assert_eq!(rs.external_targets(pid(1)), vec![oid(8), oid(9)]);
+        assert_eq!(rs.entry_count(pid(1)), 3);
+        assert_eq!(rs.total_entries(), 3);
+    }
+
+    #[test]
+    fn retain_targets_filters() {
+        let mut rs = RemSets::new();
+        rs.insert(oid(1), s(0), pid(0), oid(9), pid(1));
+        rs.insert(oid(2), s(0), pid(0), oid(8), pid(1));
+        rs.retain_targets(pid(1), |t| t == oid(9));
+        assert_eq!(rs.external_targets(pid(1)), vec![oid(9)]);
+    }
+
+    #[test]
+    fn remove_on_unknown_partition_is_noop() {
+        let mut rs = RemSets::new();
+        rs.remove(oid(1), s(0), pid(7));
+        assert_eq!(rs.entry_count(pid(7)), 0);
+    }
+}

@@ -1,0 +1,1308 @@
+//! The store facade: trace replay, I/O charging, garbage tracking, and the
+//! collection-application entry point used by the collector.
+
+use std::collections::{BTreeSet, HashSet};
+
+use odbgc_trace::{Event, ObjectId, SlotIdx};
+
+use crate::alloc;
+use crate::buffer::{BufferPool, BufferStats};
+use crate::config::{OverwriteSemantics, StoreConfig};
+use crate::error::StoreError;
+use crate::gcapi::{CollectionApplied, PartitionSnapshot};
+use crate::ids::{page_span, PageKey, PartitionId};
+use crate::io::{IoClass, IoLedger};
+use crate::object::{ObjState, ObjectInfo};
+use crate::partition::Partition;
+use crate::remset::RemSets;
+use crate::tracker::GarbageLedger;
+
+/// What applying one event did, for callers that want per-event deltas
+/// without re-querying counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Pointer overwrites this event contributed to the overwrite clock
+    /// (0 or 1).
+    pub overwrites: u32,
+    /// Bytes that became garbage as a direct consequence of this event.
+    pub garbage_created: u64,
+}
+
+/// A partitioned object store replaying database events.
+///
+/// See the crate docs for the model. All mutation goes through
+/// [`Store::apply`] (application events) and [`Store::apply_collection`]
+/// (the collector).
+///
+/// ```
+/// use odbgc_store::{Store, StoreConfig};
+/// use odbgc_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// let root = b.create_unlinked(64, 1);
+/// b.root_add(root);
+/// let child = b.create_unlinked(256, 0);
+/// b.slot_write(root, odbgc_trace::SlotIdx::new(0), Some(child));
+/// b.slot_clear(root, odbgc_trace::SlotIdx::new(0)); // child dies
+///
+/// let mut store = Store::new(StoreConfig::tiny());
+/// for ev in b.finish().iter() {
+///     store.apply(ev).unwrap();
+/// }
+/// assert_eq!(store.garbage_bytes(), 256);
+/// assert_eq!(store.overwrite_clock(), 1); // only the kill overwrote
+/// assert!(store.io().app_total() > 0);    // replay charged page I/O
+/// ```
+#[derive(Debug)]
+pub struct Store {
+    config: StoreConfig,
+    /// Object table indexed by raw object id (ids are dense in practice).
+    objects: Vec<Option<ObjectInfo>>,
+    partitions: Vec<Partition>,
+    remsets: RemSets,
+    buffer: BufferPool,
+    io: IoLedger,
+    roots: BTreeSet<ObjectId>,
+    garbage: GarbageLedger,
+    /// Total pointer overwrites (the SAGA time base).
+    overwrite_clock: u64,
+    /// Total bytes ever allocated (the allocation time base of the
+    /// programming-language-style baseline policy).
+    alloc_clock: u64,
+    /// Total live bytes across partitions.
+    live_bytes: u64,
+    /// Objects currently present (live + garbage), for O(1) census.
+    present_objects: u64,
+}
+
+impl Store {
+    /// An empty store with the given geometry.
+    pub fn new(config: StoreConfig) -> Self {
+        config.validate();
+        let buffer = BufferPool::new(config.buffer_pages);
+        Store {
+            config,
+            objects: Vec::new(),
+            partitions: Vec::new(),
+            remsets: RemSets::new(),
+            buffer,
+            io: IoLedger::new(),
+            roots: BTreeSet::new(),
+            garbage: GarbageLedger::new(),
+            overwrite_clock: 0,
+            alloc_clock: 0,
+            live_bytes: 0,
+            present_objects: 0,
+        }
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Object-table helpers
+    // ------------------------------------------------------------------
+
+    fn info(&self, id: ObjectId) -> Result<&ObjectInfo, StoreError> {
+        match self.objects.get(id.raw() as usize) {
+            Some(Some(info)) => Ok(info),
+            _ => Err(StoreError::UnknownObject(id)),
+        }
+    }
+
+    fn info_mut(&mut self, id: ObjectId) -> Result<&mut ObjectInfo, StoreError> {
+        match self.objects.get_mut(id.raw() as usize) {
+            Some(Some(info)) => Ok(info),
+            _ => Err(StoreError::UnknownObject(id)),
+        }
+    }
+
+    /// Checks the object may legally be touched by the application.
+    fn check_touchable(&self, id: ObjectId) -> Result<&ObjectInfo, StoreError> {
+        let info = self.info(id)?;
+        match info.state {
+            ObjState::Live => Ok(info),
+            ObjState::Garbage => Err(StoreError::TouchedGarbage(id)),
+            ObjState::Destroyed => Err(StoreError::UseAfterFree(id)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer / I/O helpers
+    // ------------------------------------------------------------------
+
+    /// Touches the pages covering `[offset, offset+size)` of `partition`.
+    fn touch_extent(
+        &mut self,
+        partition: PartitionId,
+        offset: u32,
+        size: u32,
+        dirty: bool,
+        class: IoClass,
+    ) {
+        let (first, last) = page_span(offset, size, self.config.page_size);
+        for page in first..=last {
+            self.buffer
+                .touch(PageKey::new(partition, page), dirty, class, &mut self.io);
+        }
+    }
+
+    /// Touches all pages of an object.
+    fn touch_object(&mut self, id: ObjectId, dirty: bool) {
+        let info = self.info(id).expect("caller validated id");
+        let (partition, offset, size) = (info.partition, info.offset, info.size);
+        self.touch_extent(partition, offset, size, dirty, IoClass::App);
+    }
+
+    /// Touches only the first page of an object (slot writes hit the
+    /// object header, not the whole body).
+    fn touch_object_header(&mut self, id: ObjectId, dirty: bool) {
+        let info = self.info(id).expect("caller validated id");
+        let (partition, offset) = (info.partition, info.offset);
+        self.touch_extent(partition, offset, 1, dirty, IoClass::App);
+    }
+
+    // ------------------------------------------------------------------
+    // Reference counting / garbage cascade
+    // ------------------------------------------------------------------
+
+    /// Counts a new incoming reference. The first reference an object ever
+    /// receives *replaces* its birth pin (the creating program register is
+    /// assumed dead once the object is linked into the database), so the
+    /// count is unchanged in that case.
+    fn incr_ref(&mut self, id: ObjectId) {
+        let info = self
+            .info_mut(id)
+            .expect("refcount target must exist");
+        debug_assert!(info.is_present(), "ref to destroyed object");
+        if info.birth_pin {
+            info.birth_pin = false;
+        } else {
+            info.refcount += 1;
+        }
+    }
+
+    /// Decrements `id`'s reference count; if it reaches zero while live,
+    /// the object becomes garbage and its own references die (cascade).
+    /// Returns bytes of garbage created by the cascade.
+    fn decr_ref(&mut self, id: ObjectId) -> u64 {
+        let mut created = 0;
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            let info = self
+                .info_mut(cur)
+                .expect("refcount target must exist");
+            debug_assert!(info.refcount > 0, "refcount underflow on {cur}");
+            info.refcount -= 1;
+            if info.refcount == 0 && info.state == ObjState::Live {
+                created += self.transition_to_garbage(cur);
+                // The dead object's outgoing references no longer count.
+                let info = self.info(cur).expect("just transitioned");
+                stack.extend(info.slots.iter().flatten().copied());
+            }
+        }
+        created
+    }
+
+    /// Marks a live object as garbage, updating ledgers. Does *not* touch
+    /// reference counts. Returns the object's size.
+    fn transition_to_garbage(&mut self, id: ObjectId) -> u64 {
+        let info = self.info_mut(id).expect("object must exist");
+        debug_assert_eq!(info.state, ObjState::Live);
+        info.state = ObjState::Garbage;
+        let (size, partition) = (u64::from(info.size), info.partition);
+        self.partitions[partition.index()].live_bytes -= size;
+        self.partitions[partition.index()].garbage_bytes += size;
+        self.live_bytes -= size;
+        self.garbage.record_generated(size);
+        size
+    }
+
+    // ------------------------------------------------------------------
+    // Event application
+    // ------------------------------------------------------------------
+
+    /// Applies one application event, charging I/O and updating garbage
+    /// accounting.
+    pub fn apply(&mut self, ev: &Event) -> Result<ApplyOutcome, StoreError> {
+        match ev {
+            Event::Create { id, size, slots } => self.apply_create(*id, *size, slots),
+            Event::Access { id } => {
+                self.check_touchable(*id)?;
+                self.touch_object(*id, false);
+                Ok(ApplyOutcome::default())
+            }
+            Event::SlotWrite { src, slot, new } => self.apply_slot_write(*src, *slot, *new),
+            Event::RootAdd { id } => {
+                let info = self.check_touchable(*id)?;
+                if info.is_root {
+                    return Err(StoreError::DuplicateRoot(*id));
+                }
+                self.info_mut(*id).expect("validated").is_root = true;
+                self.roots.insert(*id);
+                self.incr_ref(*id);
+                Ok(ApplyOutcome::default())
+            }
+            Event::RootRemove { id } => {
+                let info = self.check_touchable(*id)?;
+                if !info.is_root {
+                    return Err(StoreError::NotARoot(*id));
+                }
+                self.info_mut(*id).expect("validated").is_root = false;
+                self.roots.remove(id);
+                let garbage_created = self.decr_ref(*id);
+                Ok(ApplyOutcome {
+                    overwrites: 0,
+                    garbage_created,
+                })
+            }
+            Event::Phase { .. } => Ok(ApplyOutcome::default()),
+        }
+    }
+
+    fn apply_create(
+        &mut self,
+        id: ObjectId,
+        size: u32,
+        slots: &[Option<ObjectId>],
+    ) -> Result<ApplyOutcome, StoreError> {
+        if size == 0 {
+            return Err(StoreError::ZeroSizeObject(id));
+        }
+        if matches!(self.objects.get(id.raw() as usize), Some(Some(_))) {
+            return Err(StoreError::DuplicateId(id));
+        }
+        // Validate targets before mutating anything.
+        for target in slots.iter().flatten() {
+            self.check_touchable(*target)?;
+        }
+
+        let (partition, offset) = alloc::place(&mut self.partitions, &self.config, size);
+        let idx = id.raw() as usize;
+        if self.objects.len() <= idx {
+            self.objects.resize_with(idx + 1, || None);
+        }
+        self.objects[idx] = Some(ObjectInfo::new(
+            size,
+            partition,
+            offset,
+            slots.to_vec().into_boxed_slice(),
+        ));
+        let part = &mut self.partitions[partition.index()];
+        part.live_bytes += u64::from(size);
+        part.residents.push(id);
+        self.live_bytes += u64::from(size);
+        self.present_objects += 1;
+        self.alloc_clock += u64::from(size);
+
+        // Initial pointer stores: count references and remember
+        // cross-partition edges, but these are not overwrites.
+        for (i, target) in slots.iter().enumerate() {
+            if let Some(t) = target {
+                self.incr_ref(*t);
+                let tp = self.info(*t).expect("validated").partition;
+                self.remsets
+                    .insert(id, SlotIdx::new(i as u32), partition, *t, tp);
+            }
+        }
+
+        self.touch_extent(partition, offset, size, true, IoClass::App);
+        Ok(ApplyOutcome::default())
+    }
+
+    fn apply_slot_write(
+        &mut self,
+        src: ObjectId,
+        slot: SlotIdx,
+        new: Option<ObjectId>,
+    ) -> Result<ApplyOutcome, StoreError> {
+        let info = self.check_touchable(src)?;
+        let slot_count = info.slots.len();
+        if slot.index() >= slot_count {
+            return Err(StoreError::SlotOutOfBounds {
+                object: src,
+                slot,
+                slot_count,
+            });
+        }
+        if let Some(n) = new {
+            self.check_touchable(n)?;
+        }
+
+        let src_partition = self.info(src).expect("validated").partition;
+        let old = self.info(src).expect("validated").slots[slot.index()];
+
+        // The slot write hits the object header page.
+        self.touch_object_header(src, true);
+
+        // Install the new pointer first so a self-assignment never sees a
+        // transient zero refcount.
+        if let Some(n) = new {
+            self.incr_ref(n);
+            let tp = self.info(n).expect("validated").partition;
+            self.remsets.insert(src, slot, src_partition, n, tp);
+        }
+        self.info_mut(src).expect("validated").slots[slot.index()] = new;
+
+        let mut outcome = ApplyOutcome::default();
+        match self.config.overwrite_semantics {
+            OverwriteSemantics::NonNullOld => {
+                if old.is_some() {
+                    outcome.overwrites = 1;
+                }
+            }
+            OverwriteSemantics::AllStores => outcome.overwrites = 1,
+        }
+        self.overwrite_clock += u64::from(outcome.overwrites);
+
+        if let Some(o) = old {
+            let old_partition = self.info(o).expect("old target exists").partition;
+            // If the new pointer targets a different partition (or is
+            // null), the old remembered entry must go; if it targets the
+            // same partition the insert above already replaced it.
+            if new
+                .map(|n| self.info(n).expect("validated").partition != old_partition)
+                .unwrap_or(true)
+            {
+                self.remsets.remove(src, slot, old_partition);
+            }
+            self.partitions[old_partition.index()].overwrites += 1;
+            outcome.garbage_created = self.decr_ref(o);
+        }
+        Ok(outcome)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// The cumulative page-I/O ledger.
+    pub fn io(&self) -> &IoLedger {
+        &self.io
+    }
+
+    /// Buffer-pool hit/miss statistics.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.buffer.stats()
+    }
+
+    /// Cumulative pointer overwrites (the SAGA time base).
+    pub fn overwrite_clock(&self) -> u64 {
+        self.overwrite_clock
+    }
+
+    /// Cumulative bytes allocated by `Create` events.
+    pub fn alloc_clock(&self) -> u64 {
+        self.alloc_clock
+    }
+
+    /// Pointer overwrites into `p` since it was last collected.
+    pub fn partition_overwrites(&self, p: PartitionId) -> u64 {
+        self.partitions[p.index()].overwrites
+    }
+
+    /// Sum of outstanding per-partition overwrite counters (the FGS state
+    /// `Σ PO(p)`).
+    pub fn total_outstanding_overwrites(&self) -> u64 {
+        self.partitions.iter().map(|p| p.overwrites).sum()
+    }
+
+    /// Number of allocated partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// `DBSize(t)`: allocated storage (sum of partition capacities).
+    pub fn db_size_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| u64::from(p.capacity)).sum()
+    }
+
+    /// Bytes occupied by objects (live + garbage).
+    pub fn occupied_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| u64::from(p.high_water)).sum()
+    }
+
+    /// Bytes of live (reachable) objects.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// `ActGarb(t)` per the incremental tracker.
+    pub fn garbage_bytes(&self) -> u64 {
+        self.garbage.actual()
+    }
+
+    /// `TotGarb(t)`: cumulative garbage generated.
+    pub fn total_garbage_generated(&self) -> u64 {
+        self.garbage.total_generated()
+    }
+
+    /// `TotColl(t)`: cumulative garbage collected.
+    pub fn total_garbage_collected(&self) -> u64 {
+        self.garbage.total_collected()
+    }
+
+    /// Objects currently present (live + garbage).
+    pub fn present_objects(&self) -> u64 {
+        self.present_objects
+    }
+
+    /// Current root set, in id order.
+    pub fn roots(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.roots.iter().copied()
+    }
+
+    /// Is the object present (live or garbage, not destroyed)?
+    pub fn is_present(&self, id: ObjectId) -> bool {
+        self.info(id).map(|i| i.is_present()).unwrap_or(false)
+    }
+
+    /// Is the object live per the tracker?
+    pub fn is_live(&self, id: ObjectId) -> bool {
+        self.info(id).map(|i| i.is_live()).unwrap_or(false)
+    }
+
+    /// The object's slot contents.
+    pub fn slots_of(&self, id: ObjectId) -> Result<&[Option<ObjectId>], StoreError> {
+        Ok(&self.info(id)?.slots)
+    }
+
+    /// The object's partition.
+    pub fn partition_of(&self, id: ObjectId) -> Result<PartitionId, StoreError> {
+        Ok(self.info(id)?.partition)
+    }
+
+    /// The object's size in bytes.
+    pub fn size_of(&self, id: ObjectId) -> Result<u32, StoreError> {
+        Ok(self.info(id)?.size)
+    }
+
+    /// The object's reference count (test/diagnostic use).
+    pub fn refcount_of(&self, id: ObjectId) -> Result<u32, StoreError> {
+        Ok(self.info(id)?.refcount)
+    }
+
+    /// Objects resident in `p` (live + garbage) in layout order.
+    pub fn residents_of(&self, p: PartitionId) -> &[ObjectId] {
+        &self.partitions[p.index()].residents
+    }
+
+    /// Collection roots for partition `p`: external (remembered)
+    /// references into `p` plus global roots resident in `p`.
+    pub fn partition_roots(&self, p: PartitionId) -> Vec<ObjectId> {
+        let mut roots = self.remsets.external_targets(p);
+        for &r in &self.roots {
+            if self.info(r).map(|i| i.partition) == Ok(p) {
+                roots.push(r);
+            }
+        }
+        // Birth-pinned residents are held by application registers.
+        for &r in &self.partitions[p.index()].residents {
+            if self.info(r).map(|i| i.birth_pin) == Ok(true) {
+                roots.push(r);
+            }
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        roots
+    }
+
+    /// Per-partition facts for selection policies.
+    pub fn partition_snapshots(&self) -> Vec<PartitionSnapshot> {
+        self.partitions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PartitionSnapshot {
+                id: PartitionId::new(i as u32),
+                overwrites: p.overwrites,
+                occupied_bytes: p.high_water,
+                capacity: p.capacity,
+                residents: p.residents.len(),
+                collections: p.collections,
+                garbage_bytes: p.garbage_bytes,
+                live_bytes: p.live_bytes,
+            })
+            .collect()
+    }
+
+    /// Total remembered-set entries (space-overhead metric).
+    pub fn remset_entries(&self) -> usize {
+        self.remsets.total_entries()
+    }
+
+    // ------------------------------------------------------------------
+    // Exact reachability (oracle / validation)
+    // ------------------------------------------------------------------
+
+    /// Computes the set of objects reachable from the root set (including
+    /// birth-pinned newborns, which are held by application registers).
+    pub fn compute_reachable(&self) -> HashSet<ObjectId> {
+        let mut visited: HashSet<ObjectId> = HashSet::new();
+        let mut stack: Vec<ObjectId> = self.roots.iter().copied().collect();
+        for (i, slot) in self.objects.iter().enumerate() {
+            if let Some(info) = slot {
+                if info.birth_pin && info.is_present() {
+                    stack.push(ObjectId::new(i as u64));
+                }
+            }
+        }
+        while let Some(cur) = stack.pop() {
+            if !visited.insert(cur) {
+                continue;
+            }
+            if let Ok(info) = self.info(cur) {
+                debug_assert!(info.is_present());
+                stack.extend(info.slots.iter().flatten().copied());
+            }
+        }
+        visited
+    }
+
+    /// Reconciles the incremental tracker with full reachability, catching
+    /// cyclic structures that died without any reference count reaching
+    /// zero. Returns `ActGarb` afterwards. Exact but O(objects + edges);
+    /// intended to run at collection frequency (the oracle estimator) and
+    /// in tests.
+    pub fn recompute_garbage_exact(&mut self) -> u64 {
+        let reachable = self.compute_reachable();
+        let ids: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.as_ref().and_then(|info| {
+                    if info.is_live() {
+                        Some(ObjectId::new(i as u64))
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        let mut found_cycles = false;
+        for id in ids {
+            if !reachable.contains(&id) {
+                self.transition_to_garbage(id);
+                found_cycles = true;
+            }
+        }
+        if found_cycles {
+            self.rebuild_refcounts();
+        }
+        self.garbage.actual()
+    }
+
+    /// Recomputes every present object's reference count from live holders
+    /// and roots.
+    fn rebuild_refcounts(&mut self) {
+        let n = self.objects.len();
+        let mut counts = vec![0u32; n];
+        for info in self.objects.iter().flatten() {
+            if info.is_live() {
+                for t in info.slots.iter().flatten() {
+                    counts[t.raw() as usize] += 1;
+                }
+            }
+        }
+        for r in &self.roots {
+            counts[r.raw() as usize] += 1;
+        }
+        for (i, slot) in self.objects.iter_mut().enumerate() {
+            if let Some(info) = slot {
+                if info.is_present() {
+                    info.refcount = counts[i] + u32::from(info.birth_pin);
+                }
+            }
+        }
+    }
+
+    /// Deep structural audit: re-derives every piece of redundant state
+    /// from first principles and compares. Returns the first discrepancy
+    /// found. Intended for tests and debugging (O(objects + pointers)).
+    ///
+    /// Checked invariants:
+    /// 1. every cross-partition pointer from a present object has exactly
+    ///    one remembered-set entry, and every entry matches a real slot;
+    /// 2. every reference count equals live-holder references + root pin
+    ///    + birth pin;
+    /// 3. partition live/garbage byte tallies and the residents lists
+    ///    match the object table, and object extents do not overlap;
+    /// 4. the global live/occupied/garbage ledgers equal the per-partition
+    ///    sums.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        // -- remembered sets ------------------------------------------------
+        let mut expected_entries = 0usize;
+        for (raw, slot) in self.objects.iter().enumerate() {
+            let Some(info) = slot else { continue };
+            if !info.is_present() {
+                continue;
+            }
+            let src = ObjectId::new(raw as u64);
+            for (i, target) in info.slots.iter().enumerate() {
+                let Some(t) = target else { continue };
+                let tinfo = self
+                    .info(*t)
+                    .map_err(|e| format!("{src} slot {i} dangles: {e}"))?;
+                if !tinfo.is_present() {
+                    return Err(format!("{src} slot {i} references destroyed {t}"));
+                }
+                if tinfo.partition != info.partition {
+                    expected_entries += 1;
+                    let roots = self.remsets.external_targets(tinfo.partition);
+                    if !roots.contains(t) {
+                        return Err(format!(
+                            "missing remembered entry for {src} slot {i} -> {t}"
+                        ));
+                    }
+                }
+            }
+        }
+        if expected_entries != self.remsets.total_entries() {
+            return Err(format!(
+                "remembered sets hold {} entries, expected {}",
+                self.remsets.total_entries(),
+                expected_entries
+            ));
+        }
+
+        // -- reference counts -----------------------------------------------
+        let mut counts = vec![0u32; self.objects.len()];
+        for slot in self.objects.iter() {
+            let Some(info) = slot else { continue };
+            if info.is_live() {
+                for t in info.slots.iter().flatten() {
+                    counts[t.raw() as usize] += 1;
+                }
+            }
+        }
+        for r in &self.roots {
+            counts[r.raw() as usize] += 1;
+        }
+        for (raw, slot) in self.objects.iter().enumerate() {
+            let Some(info) = slot else { continue };
+            if info.is_present() {
+                let expected = counts[raw] + u32::from(info.birth_pin);
+                if info.refcount != expected {
+                    return Err(format!(
+                        "o{raw} refcount {} != expected {expected}",
+                        info.refcount
+                    ));
+                }
+            }
+        }
+
+        // -- partitions ------------------------------------------------------
+        let (mut live_total, mut occupied_total) = (0u64, 0u64);
+        for (pi, part) in self.partitions.iter().enumerate() {
+            let pid = PartitionId::new(pi as u32);
+            let (mut live, mut garbage) = (0u64, 0u64);
+            let mut extents: Vec<(u32, u32)> = Vec::with_capacity(part.residents.len());
+            for &r in &part.residents {
+                let info = self
+                    .info(r)
+                    .map_err(|e| format!("{pid} resident {r}: {e}"))?;
+                if !info.is_present() {
+                    return Err(format!("{pid} lists destroyed resident {r}"));
+                }
+                if info.partition != pid {
+                    return Err(format!("{pid} lists {r} homed in {}", info.partition));
+                }
+                if info.offset + info.size > part.high_water {
+                    return Err(format!("{pid} resident {r} extends past high water"));
+                }
+                extents.push((info.offset, info.size));
+                if info.is_live() {
+                    live += u64::from(info.size);
+                } else {
+                    garbage += u64::from(info.size);
+                }
+            }
+            extents.sort_unstable();
+            for w in extents.windows(2) {
+                if w[0].0 + w[0].1 > w[1].0 {
+                    return Err(format!("{pid} has overlapping object extents"));
+                }
+            }
+            if live != part.live_bytes || garbage != part.garbage_bytes {
+                return Err(format!(
+                    "{pid} tallies live {}/{} garbage {}/{}",
+                    part.live_bytes, live, part.garbage_bytes, garbage
+                ));
+            }
+            live_total += live;
+            occupied_total += u64::from(part.high_water);
+        }
+        if live_total != self.live_bytes {
+            return Err(format!(
+                "global live bytes {} != partition sum {live_total}",
+                self.live_bytes
+            ));
+        }
+        if occupied_total != self.occupied_bytes() {
+            return Err("occupied-bytes accessor disagrees with partitions".to_owned());
+        }
+        if self.garbage.actual() != occupied_total - live_total {
+            return Err(format!(
+                "garbage ledger {} != occupied-live {}",
+                self.garbage.actual(),
+                occupied_total - live_total
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`Store::check_consistency`].
+    pub fn assert_consistent(&self) {
+        if let Err(msg) = self.check_consistency() {
+            panic!("store inconsistent: {msg}");
+        }
+    }
+
+    /// Test hook: asserts the incremental tracker agrees with full
+    /// reachability. Panics on divergence.
+    pub fn assert_garbage_exact(&self) {
+        let reachable = self.compute_reachable();
+        for (i, slot) in self.objects.iter().enumerate() {
+            if let Some(info) = slot {
+                let id = ObjectId::new(i as u64);
+                match info.state {
+                    ObjState::Live => assert!(
+                        reachable.contains(&id),
+                        "{id} tracked live but unreachable (undetected cycle?)"
+                    ),
+                    ObjState::Garbage => assert!(
+                        !reachable.contains(&id),
+                        "{id} tracked garbage but reachable (tracker unsound!)"
+                    ),
+                    ObjState::Destroyed => assert!(
+                        !reachable.contains(&id),
+                        "{id} destroyed but reachable (collector unsound!)"
+                    ),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Collection application
+    // ------------------------------------------------------------------
+
+    /// Applies a collection of partition `p`: every resident *not* in
+    /// `survivors` is physically destroyed, the survivors are compacted in
+    /// the given order, the partition's overwrite counter resets, its
+    /// buffered pages are invalidated, and the collector is charged page
+    /// reads for the previously occupied extent plus writes for the
+    /// compacted extent.
+    ///
+    /// `survivors` must be a duplicate-free subset of `p`'s residents (in
+    /// the copy order the collector chose); the collector computes it by
+    /// tracing from [`Store::partition_roots`]. Panics on a malformed
+    /// survivor list — that is a collector bug, not a data condition.
+    pub fn apply_collection(
+        &mut self,
+        p: PartitionId,
+        survivors: &[ObjectId],
+    ) -> CollectionApplied {
+        let occupied_pages_before =
+            u64::from(self.partitions[p.index()].occupied_pages(self.config.page_size));
+        let overwrites_at_collection = self.partitions[p.index()].overwrites;
+
+        let resident_set: HashSet<ObjectId> =
+            self.partitions[p.index()].residents.iter().copied().collect();
+        let survivor_set: HashSet<ObjectId> = survivors.iter().copied().collect();
+        assert_eq!(
+            survivor_set.len(),
+            survivors.len(),
+            "duplicate survivors passed to apply_collection"
+        );
+        for s in survivors {
+            assert!(
+                resident_set.contains(s),
+                "survivor {s} is not resident in {p}"
+            );
+        }
+
+        let doomed: Vec<ObjectId> = self.partitions[p.index()]
+            .residents
+            .iter()
+            .copied()
+            .filter(|r| !survivor_set.contains(r))
+            .collect();
+
+        // Phase 1: anything still tracked live is cyclic garbage the
+        // cascade could not see; transition it (with cascade for its
+        // outgoing references) before destroying.
+        for &d in &doomed {
+            if self.info(d).expect("resident exists").is_live() {
+                self.transition_to_garbage(d);
+                let targets: Vec<ObjectId> = self
+                    .info(d)
+                    .expect("resident exists")
+                    .slots
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect();
+                for t in targets {
+                    self.decr_ref(t);
+                }
+            }
+        }
+
+        // Phase 2: physical destruction.
+        let mut bytes_reclaimed = 0u64;
+        for &d in &doomed {
+            let info = self.info(d).expect("resident exists");
+            debug_assert!(info.is_garbage(), "destroying a live object");
+            let (size, slots) = (u64::from(info.size), info.slots.clone());
+            // Forget the doomed object's outgoing remembered entries.
+            // Intra-partition targets were never remembered (and may be
+            // fellow doomed objects already destroyed this collection);
+            // cross-partition targets are necessarily still present.
+            for (i, t) in slots.iter().enumerate() {
+                if let Some(t) = t {
+                    let tinfo = self.info(*t).expect("slot target exists");
+                    let tp = tinfo.partition;
+                    if tp != p {
+                        debug_assert!(
+                            tinfo.is_present(),
+                            "doomed object references destroyed {t}"
+                        );
+                        self.remsets.remove(d, SlotIdx::new(i as u32), tp);
+                    }
+                }
+            }
+            let info = self.info_mut(d).expect("resident exists");
+            info.state = ObjState::Destroyed;
+            info.refcount = 0;
+            info.birth_pin = false;
+            self.partitions[p.index()].garbage_bytes -= size;
+            self.garbage.record_collected(size);
+            bytes_reclaimed += size;
+            self.present_objects -= 1;
+        }
+
+        // Phase 3: compact survivors in the collector's copy order.
+        {
+            let part = &mut self.partitions[p.index()];
+            part.high_water = 0;
+            part.residents = survivors.to_vec();
+            part.overwrites = 0;
+            part.collections += 1;
+        }
+        for &s in survivors {
+            let size = self.info(s).expect("survivor exists").size;
+            let offset = self.partitions[p.index()].append(size);
+            self.info_mut(s).expect("survivor exists").offset = offset;
+        }
+
+        // Safety net: no remembered entry may point at a destroyed target.
+        let objects = &self.objects;
+        self.remsets.retain_targets(p, |t| {
+            objects
+                .get(t.raw() as usize)
+                .and_then(|s| s.as_ref())
+                .is_some_and(ObjectInfo::is_present)
+        });
+
+        // Phase 4: I/O and buffer effects.
+        let occupied_pages_after =
+            u64::from(self.partitions[p.index()].occupied_pages(self.config.page_size));
+        self.io.charge_reads(IoClass::Gc, occupied_pages_before);
+        self.io.charge_writes(IoClass::Gc, occupied_pages_after);
+        self.buffer.invalidate_where(|key| key.partition == p);
+
+        CollectionApplied {
+            partition: p,
+            bytes_reclaimed,
+            bytes_after: u64::from(self.partitions[p.index()].high_water),
+            objects_destroyed: doomed.len(),
+            objects_survived: survivors.len(),
+            gc_reads: occupied_pages_before,
+            gc_writes: occupied_pages_after,
+            overwrites_at_collection,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbgc_trace::TraceBuilder;
+
+    fn tiny() -> Store {
+        Store::new(StoreConfig::tiny())
+    }
+
+    /// Replays a builder's trace, panicking on any error.
+    fn replay(store: &mut Store, trace: &odbgc_trace::Trace) {
+        for ev in trace.iter() {
+            store.apply(ev).expect("replay");
+        }
+    }
+
+    #[test]
+    fn create_places_and_charges_io() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let a = b.create_unlinked(100, 1);
+        replay(&mut s, &b.finish());
+        assert_eq!(s.partition_count(), 1);
+        assert_eq!(s.live_bytes(), 100);
+        assert_eq!(s.occupied_bytes(), 100);
+        // 100 bytes on 64-byte pages = 2 pages read into buffer (dirty).
+        assert_eq!(s.io().app_reads, 2);
+        assert!(s.is_live(a));
+    }
+
+    #[test]
+    fn access_unknown_object_errors() {
+        let mut s = tiny();
+        let e = s
+            .apply(&Event::Access {
+                id: ObjectId::new(5),
+            })
+            .unwrap_err();
+        assert_eq!(e, StoreError::UnknownObject(ObjectId::new(5)));
+    }
+
+    #[test]
+    fn duplicate_create_errors() {
+        let mut s = tiny();
+        let ev = Event::Create {
+            id: ObjectId::new(0),
+            size: 10,
+            slots: Box::new([]),
+        };
+        s.apply(&ev).unwrap();
+        assert_eq!(
+            s.apply(&ev).unwrap_err(),
+            StoreError::DuplicateId(ObjectId::new(0))
+        );
+    }
+
+    #[test]
+    fn zero_size_create_errors() {
+        let mut s = tiny();
+        let e = s
+            .apply(&Event::Create {
+                id: ObjectId::new(0),
+                size: 0,
+                slots: Box::new([]),
+            })
+            .unwrap_err();
+        assert_eq!(e, StoreError::ZeroSizeObject(ObjectId::new(0)));
+    }
+
+    #[test]
+    fn slot_out_of_bounds_errors() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let a = b.create_unlinked(10, 1);
+        replay(&mut s, &b.finish());
+        let e = s
+            .apply(&Event::SlotWrite {
+                src: a,
+                slot: SlotIdx::new(1),
+                new: None,
+            })
+            .unwrap_err();
+        assert!(matches!(e, StoreError::SlotOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn overwrite_kills_target_creates_garbage() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let root = b.create_unlinked(10, 1);
+        b.root_add(root);
+        let child = b.create_unlinked(50, 0);
+        b.slot_write(root, SlotIdx::new(0), Some(child));
+        replay(&mut s, &b.finish());
+        assert_eq!(s.garbage_bytes(), 0);
+        assert_eq!(s.overwrite_clock(), 0); // initial store into null slot
+
+        let out = s
+            .apply(&Event::SlotWrite {
+                src: root,
+                slot: SlotIdx::new(0),
+                new: None,
+            })
+            .unwrap();
+        assert_eq!(out.overwrites, 1);
+        assert_eq!(out.garbage_created, 50);
+        assert_eq!(s.garbage_bytes(), 50);
+        assert_eq!(s.overwrite_clock(), 1);
+        assert!(!s.is_live(child));
+        assert!(s.is_present(child)); // still occupies storage
+        s.assert_garbage_exact();
+    }
+
+    #[test]
+    fn cascade_frees_chain() {
+        let mut s = tiny();
+        let t = odbgc_trace::synthetic::linear_chain(5, 20, Some(1));
+        replay(&mut s, &t);
+        // Nodes 2, 3, 4 are detached (the cut cleared node 1's next link).
+        assert_eq!(s.garbage_bytes(), 3 * 20);
+        s.assert_garbage_exact();
+    }
+
+    #[test]
+    fn self_assignment_is_safe() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let root = b.create_unlinked(10, 1);
+        b.root_add(root);
+        let child = b.create_unlinked(10, 0);
+        b.slot_write(root, SlotIdx::new(0), Some(child));
+        replay(&mut s, &b.finish());
+        // Overwrite the slot with the same pointer: counted as an
+        // overwrite, but no garbage.
+        let out = s
+            .apply(&Event::SlotWrite {
+                src: root,
+                slot: SlotIdx::new(0),
+                new: Some(child),
+            })
+            .unwrap();
+        assert_eq!(out.overwrites, 1);
+        assert_eq!(out.garbage_created, 0);
+        assert!(s.is_live(child));
+        s.assert_garbage_exact();
+    }
+
+    #[test]
+    fn detached_cycle_is_invisible_to_cascade_but_found_by_recompute() {
+        let mut s = tiny();
+        replay(&mut s, &odbgc_trace::synthetic::detached_cycle(30));
+        // The cascade cannot see the dead 2-cycle.
+        assert_eq!(s.garbage_bytes(), 0);
+        let exact = s.recompute_garbage_exact();
+        assert_eq!(exact, 60);
+        s.assert_garbage_exact();
+    }
+
+    #[test]
+    fn root_remove_frees_subtree() {
+        let mut s = tiny();
+        let (t, n) = odbgc_trace::synthetic::wide_tree(2, 2, 10);
+        replay(&mut s, &t);
+        assert_eq!(s.live_bytes(), n as u64 * 10);
+        s.apply(&Event::RootRemove {
+            id: ObjectId::new(0),
+        })
+        .unwrap();
+        assert_eq!(s.live_bytes(), 0);
+        assert_eq!(s.garbage_bytes(), n as u64 * 10);
+        s.assert_garbage_exact();
+    }
+
+    #[test]
+    fn duplicate_root_and_not_a_root_errors() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let a = b.create_unlinked(10, 0);
+        b.root_add(a);
+        // A second root keeps `a` reachable after its root pin is removed,
+        // so the follow-up RootRemove exercises the NotARoot path rather
+        // than TouchedGarbage.
+        let holder = b.create(10, vec![Some(a)]);
+        b.root_add(holder);
+        replay(&mut s, &b.finish());
+        assert_eq!(
+            s.apply(&Event::RootAdd { id: a }).unwrap_err(),
+            StoreError::DuplicateRoot(a)
+        );
+        s.apply(&Event::RootRemove { id: a }).unwrap();
+        assert!(s.is_live(a));
+        assert_eq!(
+            s.apply(&Event::RootRemove { id: a }).unwrap_err(),
+            StoreError::NotARoot(a)
+        );
+    }
+
+    #[test]
+    fn touching_garbage_errors() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let root = b.create_unlinked(10, 1);
+        b.root_add(root);
+        let child = b.create_unlinked(10, 0);
+        b.slot_write(root, SlotIdx::new(0), Some(child));
+        b.slot_clear(root, SlotIdx::new(0));
+        replay(&mut s, &b.finish());
+        assert_eq!(
+            s.apply(&Event::Access { id: child }).unwrap_err(),
+            StoreError::TouchedGarbage(child)
+        );
+    }
+
+    #[test]
+    fn overwrites_counted_per_old_target_partition() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let root = b.create_unlinked(10, 2);
+        b.root_add(root);
+        // Fill partition 0 so the next object lands in partition 1.
+        let filler = b.create_unlinked(240, 0);
+        let far = b.create_unlinked(100, 0);
+        b.slot_write(root, SlotIdx::new(0), Some(filler));
+        b.slot_write(root, SlotIdx::new(1), Some(far));
+        replay(&mut s, &b.finish());
+        let p_far = s.partition_of(far).unwrap();
+        assert_ne!(p_far, s.partition_of(root).unwrap());
+
+        s.apply(&Event::SlotWrite {
+            src: root,
+            slot: SlotIdx::new(1),
+            new: None,
+        })
+        .unwrap();
+        assert_eq!(s.partition_overwrites(p_far), 1);
+        assert_eq!(s.total_outstanding_overwrites(), 1);
+    }
+
+    #[test]
+    fn remsets_track_cross_partition_roots() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let root = b.create_unlinked(10, 1);
+        b.root_add(root);
+        let _filler = b.create_unlinked(240, 0);
+        let far = b.create_unlinked(100, 0);
+        b.slot_write(root, SlotIdx::new(0), Some(far));
+        replay(&mut s, &b.finish());
+        let p_far = s.partition_of(far).unwrap();
+        assert_eq!(s.partition_roots(p_far), vec![far]);
+        // Root object's own partition has the global root.
+        let p_root = s.partition_of(root).unwrap();
+        assert!(s.partition_roots(p_root).contains(&root));
+    }
+
+    #[test]
+    fn reattaching_detached_object_is_an_error() {
+        // Once an overwrite detaches an object, the application cannot
+        // name it again: re-installing a pointer to garbage must fail.
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let root = b.create_unlinked(10, 1);
+        b.root_add(root);
+        let a = b.create_unlinked(50, 0);
+        b.slot_write(root, SlotIdx::new(0), Some(a));
+        b.slot_clear(root, SlotIdx::new(0)); // a is now garbage
+        replay(&mut s, &b.finish());
+        assert_eq!(
+            s.apply(&Event::SlotWrite {
+                src: root,
+                slot: SlotIdx::new(0),
+                new: Some(a),
+            })
+            .unwrap_err(),
+            StoreError::TouchedGarbage(a)
+        );
+    }
+
+    #[test]
+    fn collection_reclaims_and_charges_gc_io() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let root = b.create_unlinked(10, 2);
+        b.root_add(root);
+        let keep = b.create_unlinked(50, 0);
+        let dead = b.create_unlinked(60, 0);
+        b.slot_write(root, SlotIdx::new(0), Some(keep));
+        b.slot_write(root, SlotIdx::new(1), Some(dead));
+        b.slot_clear(root, SlotIdx::new(1)); // dead becomes garbage
+        replay(&mut s, &b.finish());
+        let p = s.partition_of(dead).unwrap();
+        assert_eq!(p, s.partition_of(keep).unwrap());
+        let occupied_before = s.occupied_bytes();
+        assert_eq!(occupied_before, 120);
+
+        // Survivors: root and keep (layout order), dead is doomed.
+        let survivors = vec![root, keep];
+        let gc_io_before = s.io().gc_total();
+        let outcome = s.apply_collection(p, &survivors);
+
+        assert_eq!(outcome.bytes_reclaimed, 60);
+        assert_eq!(outcome.objects_destroyed, 1);
+        assert_eq!(outcome.objects_survived, 2);
+        assert_eq!(outcome.overwrites_at_collection, 1);
+        // 120 bytes occupied = 2 pages read; 60 live bytes = 1 page write.
+        assert_eq!(outcome.gc_reads, 2);
+        assert_eq!(outcome.gc_writes, 1);
+        assert_eq!(s.io().gc_total(), gc_io_before + 3);
+
+        assert!(!s.is_present(dead));
+        assert_eq!(s.garbage_bytes(), 0);
+        assert_eq!(s.total_garbage_collected(), 60);
+        assert_eq!(s.occupied_bytes(), 60);
+        assert_eq!(s.partition_overwrites(p), 0);
+        s.assert_garbage_exact();
+
+        // Survivors were compacted in the given order.
+        assert_eq!(s.residents_of(p), &[root, keep]);
+        assert_eq!(s.slots_of(root).unwrap()[0], Some(keep));
+    }
+
+    #[test]
+    fn collection_destroys_cyclic_garbage_when_collector_says_so() {
+        let mut s = tiny();
+        replay(&mut s, &odbgc_trace::synthetic::detached_cycle(30));
+        // Tracker hasn't noticed the dead cycle.
+        assert_eq!(s.garbage_bytes(), 0);
+        let anchor = ObjectId::new(0);
+        let p = s.partition_of(anchor).unwrap();
+        // A real collector tracing from roots would keep only the anchor.
+        let outcome = s.apply_collection(p, &[anchor]);
+        assert_eq!(outcome.bytes_reclaimed, 60);
+        assert_eq!(s.total_garbage_generated(), 60);
+        assert_eq!(s.total_garbage_collected(), 60);
+        s.assert_garbage_exact();
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn collection_with_foreign_survivor_panics() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let a = b.create_unlinked(10, 0);
+        b.root_add(a);
+        let _big = b.create_unlinked(250, 0); // forces partition 1
+        replay(&mut s, &b.finish());
+        let p1 = PartitionId::new(1);
+        s.apply_collection(p1, &[a]); // `a` lives in partition 0
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let root = b.create_unlinked(10, 1);
+        b.root_add(root);
+        let dead = b.create_unlinked(20, 0);
+        b.slot_write(root, SlotIdx::new(0), Some(dead));
+        b.slot_clear(root, SlotIdx::new(0));
+        replay(&mut s, &b.finish());
+        let p = s.partition_of(dead).unwrap();
+        s.apply_collection(p, &[root]);
+        assert_eq!(
+            s.apply(&Event::Access { id: dead }).unwrap_err(),
+            StoreError::UseAfterFree(dead)
+        );
+    }
+
+    #[test]
+    fn db_size_counts_allocated_partitions() {
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        b.create_unlinked(200, 0);
+        b.create_unlinked(200, 0);
+        replay(&mut s, &b.finish());
+        assert_eq!(s.partition_count(), 2);
+        assert_eq!(s.db_size_bytes(), 512);
+    }
+}

@@ -1,0 +1,81 @@
+//! Cumulative garbage accounting.
+//!
+//! The paper's SAGA formulation uses three quantities: `TotGarb(t)` (total
+//! garbage ever generated), `TotColl(t)` (total garbage ever collected) and
+//! `ActGarb(t) = TotGarb(t) − TotColl(t)` (garbage currently occupying
+//! storage). This module holds the cumulative ledger; the incremental
+//! detection of *when* an object becomes garbage (the reference-count
+//! cascade) lives in [`crate::store`], which owns the object table.
+
+/// Cumulative garbage ledger (bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GarbageLedger {
+    total_generated: u64,
+    total_collected: u64,
+}
+
+impl GarbageLedger {
+    /// A zeroed ledger.
+    pub fn new() -> Self {
+        GarbageLedger::default()
+    }
+
+    /// Records `bytes` of newly unreachable storage (`TotGarb` grows).
+    #[inline]
+    pub fn record_generated(&mut self, bytes: u64) {
+        self.total_generated += bytes;
+    }
+
+    /// Records `bytes` physically reclaimed by a collection (`TotColl`
+    /// grows).
+    #[inline]
+    pub fn record_collected(&mut self, bytes: u64) {
+        self.total_collected += bytes;
+        debug_assert!(
+            self.total_collected <= self.total_generated,
+            "collected more than was ever generated"
+        );
+    }
+
+    /// `TotGarb(t)`: bytes of garbage ever generated.
+    pub fn total_generated(&self) -> u64 {
+        self.total_generated
+    }
+
+    /// `TotColl(t)`: bytes of garbage ever collected.
+    pub fn total_collected(&self) -> u64 {
+        self.total_collected
+    }
+
+    /// `ActGarb(t)`: garbage currently occupying storage.
+    pub fn actual(&self) -> u64 {
+        self.total_generated - self.total_collected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_tracks_generated_minus_collected() {
+        let mut l = GarbageLedger::new();
+        assert_eq!(l.actual(), 0);
+        l.record_generated(100);
+        l.record_generated(50);
+        assert_eq!(l.total_generated(), 150);
+        assert_eq!(l.actual(), 150);
+        l.record_collected(120);
+        assert_eq!(l.total_collected(), 120);
+        assert_eq!(l.actual(), 30);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "collected more")]
+    fn over_collection_is_a_bug() {
+        let mut l = GarbageLedger::new();
+        l.record_generated(10);
+        l.record_collected(11);
+    }
+}

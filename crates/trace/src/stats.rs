@@ -1,0 +1,128 @@
+//! Summary statistics over a trace.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+use crate::trace::Trace;
+
+/// Census of a trace: event counts per kind, overall and per phase, plus
+/// allocation volume.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events per kind.
+    pub by_kind: BTreeMap<EventKind, u64>,
+    /// Per-phase `(phase name, per-kind counts)` in order of first
+    /// occurrence. Events before the first phase marker fall into a
+    /// synthetic `"<pre>"` phase.
+    pub by_phase: Vec<(String, BTreeMap<EventKind, u64>)>,
+    /// Total bytes allocated by `Create` events.
+    pub bytes_allocated: u64,
+    /// Number of distinct objects created.
+    pub objects_created: u64,
+    /// Total slot-write events (upper bound on pointer overwrites; the true
+    /// overwrite count depends on replay state).
+    pub slot_writes: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut stats = TraceStats::default();
+        let mut current_phase: Option<usize> = None;
+        for ev in trace.iter() {
+            if let Event::Phase { id } = ev {
+                let name = trace
+                    .phase_name(*id)
+                    .unwrap_or("<unknown>")
+                    .to_owned();
+                stats.by_phase.push((name, BTreeMap::new()));
+                current_phase = Some(stats.by_phase.len() - 1);
+            }
+            *stats.by_kind.entry(ev.kind()).or_insert(0) += 1;
+            let phase_map = match current_phase {
+                Some(i) => &mut stats.by_phase[i].1,
+                None => {
+                    if stats.by_phase.is_empty() {
+                        stats.by_phase.push(("<pre>".to_owned(), BTreeMap::new()));
+                    }
+                    &mut stats.by_phase[0].1
+                }
+            };
+            *phase_map.entry(ev.kind()).or_insert(0) += 1;
+            match ev {
+                Event::Create { size, .. } => {
+                    stats.bytes_allocated += u64::from(*size);
+                    stats.objects_created += 1;
+                }
+                Event::SlotWrite { .. } => stats.slot_writes += 1,
+                _ => {}
+            }
+        }
+        stats
+    }
+
+    /// Count of events of one kind.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total number of events.
+    pub fn total(&self) -> u64 {
+        self.by_kind.values().sum()
+    }
+
+    /// Mean created-object size in bytes, or 0 if nothing was created.
+    pub fn mean_object_size(&self) -> f64 {
+        if self.objects_created == 0 {
+            0.0
+        } else {
+            self.bytes_allocated as f64 / self.objects_created as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SlotIdx;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn counts_by_kind_and_phase() {
+        let mut b = TraceBuilder::new();
+        let pre = b.create_unlinked(100, 1); // before any phase
+        b.phase("GenDB");
+        let a = b.create_unlinked(50, 1);
+        b.slot_write(a, SlotIdx::new(0), Some(pre));
+        b.phase("Reorg1");
+        b.access(a);
+        b.access(pre);
+        let t = b.finish();
+        let s = t.stats();
+
+        assert_eq!(s.count(EventKind::Create), 2);
+        assert_eq!(s.count(EventKind::Access), 2);
+        assert_eq!(s.count(EventKind::SlotWrite), 1);
+        assert_eq!(s.count(EventKind::Phase), 2);
+        assert_eq!(s.total(), 7);
+        assert_eq!(s.objects_created, 2);
+        assert_eq!(s.bytes_allocated, 150);
+        assert!((s.mean_object_size() - 75.0).abs() < 1e-9);
+
+        assert_eq!(s.by_phase.len(), 3);
+        assert_eq!(s.by_phase[0].0, "<pre>");
+        assert_eq!(s.by_phase[1].0, "GenDB");
+        assert_eq!(s.by_phase[2].0, "Reorg1");
+        assert_eq!(s.by_phase[0].1[&EventKind::Create], 1);
+        assert_eq!(s.by_phase[1].1[&EventKind::SlotWrite], 1);
+        assert_eq!(s.by_phase[2].1[&EventKind::Access], 2);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = Trace::default().stats();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.mean_object_size(), 0.0);
+        assert!(s.by_phase.is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! Synthetic workload generators for testing stores and collectors.
+//!
+//! These are *not* the OO7 application (that lives in `odbgc-oo7`); they are
+//! small, well-understood graph workloads used by unit, integration, and
+//! property tests across the workspace.
+//!
+//! Every generator maintains the invariant that a trace only ever references
+//! objects that are reachable from the root set at that point — a real
+//! application cannot name an unreachable object. Targets of new pointers
+//! are found by random walks from root anchors, which guarantees
+//! reachability by construction.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::{ObjectId, SlotIdx};
+use crate::trace::{Trace, TraceBuilder};
+
+/// Configuration for [`churn`].
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Number of root "anchor" objects.
+    pub anchors: usize,
+    /// Pointer slots per object.
+    pub slots_per_object: usize,
+    /// Number of workload steps after setup.
+    pub steps: usize,
+    /// Inclusive object-size range in bytes.
+    pub size_range: (u32, u32),
+    /// Relative weights of (create, relink, clear, access) actions.
+    pub weights: (u32, u32, u32, u32),
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            anchors: 4,
+            slots_per_object: 3,
+            steps: 500,
+            size_range: (32, 256),
+            weights: (4, 3, 2, 4),
+        }
+    }
+}
+
+/// Random graph-churn workload: objects are created, linked, unlinked, and
+/// accessed underneath a fixed set of root anchors. Unlinking creates
+/// garbage; creating extends the live graph.
+pub fn churn(config: &ChurnConfig, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TraceBuilder::with_capacity(config.steps + config.anchors + 8);
+    let slots = config.slots_per_object.max(1);
+
+    // Mirror of the object graph so random walks can find reachable targets.
+    let mut graph: Vec<Vec<Option<ObjectId>>> = Vec::new();
+    let mut anchors = Vec::with_capacity(config.anchors);
+    for _ in 0..config.anchors.max(1) {
+        let id = b.create_unlinked(rng.random_range(config.size_range.0..=config.size_range.1), slots);
+        b.root_add(id);
+        graph.push(vec![None; slots]);
+        anchors.push(id);
+    }
+
+    // Random walk from a random anchor; every visited object is reachable.
+    let walk = |rng: &mut StdRng, graph: &[Vec<Option<ObjectId>>], anchors: &[ObjectId]| {
+        let mut at = *anchors.choose(rng).expect("at least one anchor");
+        for _ in 0..rng.random_range(0..6usize) {
+            let out = &graph[at.raw() as usize];
+            let children: Vec<ObjectId> = out.iter().flatten().copied().collect();
+            match children.choose(rng) {
+                Some(&c) => at = c,
+                None => break,
+            }
+        }
+        at
+    };
+
+    let (w_create, w_relink, w_clear, w_access) = config.weights;
+    let total_w = (w_create + w_relink + w_clear + w_access).max(1);
+
+    for _ in 0..config.steps {
+        let pick = rng.random_range(0..total_w);
+        if pick < w_create {
+            // Create a new object and hook it into the reachable graph.
+            let parent = walk(&mut rng, &graph, &anchors);
+            let size = rng.random_range(config.size_range.0..=config.size_range.1);
+            let id = b.create_unlinked(size, slots);
+            graph.push(vec![None; slots]);
+            let slot = SlotIdx::new(rng.random_range(0..slots as u32));
+            b.slot_write(parent, slot, Some(id));
+            graph[parent.raw() as usize][slot.index()] = Some(id);
+        } else if pick < w_create + w_relink {
+            // Point a reachable object's slot at another reachable object.
+            let src = walk(&mut rng, &graph, &anchors);
+            let dst = walk(&mut rng, &graph, &anchors);
+            let slot = SlotIdx::new(rng.random_range(0..slots as u32));
+            b.slot_write(src, slot, Some(dst));
+            graph[src.raw() as usize][slot.index()] = Some(dst);
+        } else if pick < w_create + w_relink + w_clear {
+            // Kill a pointer, possibly detaching a subgraph.
+            let src = walk(&mut rng, &graph, &anchors);
+            let slot = SlotIdx::new(rng.random_range(0..slots as u32));
+            b.slot_clear(src, slot);
+            graph[src.raw() as usize][slot.index()] = None;
+        } else {
+            let id = walk(&mut rng, &graph, &anchors);
+            b.access(id);
+        }
+    }
+    b.finish()
+}
+
+/// A rooted singly linked list of `n` objects of `size` bytes each, followed
+/// by a cut at `cut_after` links (if given), which makes the tail garbage.
+pub fn linear_chain(n: usize, size: u32, cut_after: Option<usize>) -> Trace {
+    assert!(n >= 1);
+    let mut b = TraceBuilder::new();
+    let head = b.create_unlinked(size, 1);
+    b.root_add(head);
+    let mut prev = head;
+    let mut nodes = vec![head];
+    for _ in 1..n {
+        let next = b.create_unlinked(size, 1);
+        b.slot_write(prev, SlotIdx::new(0), Some(next));
+        prev = next;
+        nodes.push(next);
+    }
+    if let Some(k) = cut_after {
+        assert!(k < n, "cut_after must leave at least the head");
+        b.slot_clear(nodes[k], SlotIdx::new(0));
+    }
+    b.finish()
+}
+
+/// A rooted complete `fanout`-ary tree of the given `depth` (depth 0 = just
+/// the root). Returns the trace and the total node count.
+pub fn wide_tree(depth: u32, fanout: usize, size: u32) -> (Trace, usize) {
+    let mut b = TraceBuilder::new();
+    let root = b.create_unlinked(size, fanout);
+    b.root_add(root);
+    let mut frontier = vec![root];
+    let mut count = 1usize;
+    for _ in 0..depth {
+        let mut next_frontier = Vec::with_capacity(frontier.len() * fanout);
+        for parent in frontier {
+            for slot in 0..fanout {
+                let child = b.create_unlinked(size, fanout);
+                b.slot_write(parent, SlotIdx::new(slot as u32), Some(child));
+                next_frontier.push(child);
+                count += 1;
+            }
+        }
+        frontier = next_frontier;
+    }
+    (b.finish(), count)
+}
+
+/// A two-object cycle hanging off a rooted anchor, then detached in one
+/// overwrite. Exercises cyclic-garbage handling: after the final event both
+/// cycle members are unreachable even though they reference each other.
+pub fn detached_cycle(size: u32) -> Trace {
+    let mut b = TraceBuilder::new();
+    let anchor = b.create_unlinked(size, 1);
+    b.root_add(anchor);
+    let x = b.create_unlinked(size, 1);
+    let y = b.create(size, vec![Some(x)]);
+    b.slot_write(x, SlotIdx::new(0), Some(y));
+    b.slot_write(anchor, SlotIdx::new(0), Some(x));
+    // Detach the cycle {x, y} with a single overwrite.
+    b.slot_clear(anchor, SlotIdx::new(0));
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+    use std::collections::HashSet;
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let cfg = ChurnConfig::default();
+        let a = churn(&cfg, 7);
+        let b = churn(&cfg, 7);
+        let c = churn(&cfg, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn churn_references_only_created_objects() {
+        let t = churn(&ChurnConfig::default(), 3);
+        let mut created = HashSet::new();
+        for ev in t.iter() {
+            match ev {
+                Event::Create { id, slots, .. } => {
+                    for s in slots.iter().flatten() {
+                        assert!(created.contains(s), "create referenced unknown {s:?}");
+                    }
+                    created.insert(*id);
+                }
+                Event::SlotWrite { src, new, .. } => {
+                    assert!(created.contains(src));
+                    if let Some(n) = new {
+                        assert!(created.contains(n));
+                    }
+                }
+                Event::Access { id } | Event::RootAdd { id } | Event::RootRemove { id } => {
+                    assert!(created.contains(id));
+                }
+                Event::Phase { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn churn_slot_indexes_in_bounds() {
+        let cfg = ChurnConfig {
+            slots_per_object: 2,
+            ..ChurnConfig::default()
+        };
+        let t = churn(&cfg, 11);
+        for ev in t.iter() {
+            if let Event::SlotWrite { slot, .. } = ev {
+                assert!(slot.index() < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_chain_shape() {
+        let t = linear_chain(5, 64, Some(2));
+        let s = t.stats();
+        assert_eq!(s.objects_created, 5);
+        // 4 link stores + 1 cut
+        assert_eq!(s.count(EventKind::SlotWrite), 5);
+        assert_eq!(s.count(EventKind::RootAdd), 1);
+    }
+
+    #[test]
+    fn wide_tree_counts_nodes() {
+        let (t, n) = wide_tree(3, 2, 32);
+        assert_eq!(n, 1 + 2 + 4 + 8);
+        assert_eq!(t.stats().objects_created as usize, n);
+    }
+
+    #[test]
+    fn detached_cycle_ends_with_cut() {
+        let t = detached_cycle(16);
+        let last = t.events().last().unwrap();
+        assert!(matches!(last, Event::SlotWrite { new: None, .. }));
+    }
+}

@@ -1,0 +1,79 @@
+//! Failure injection for the trace codec: arbitrary and corrupted inputs
+//! must produce errors, never panics, and valid-looking errors carry line
+//! numbers.
+
+use proptest::prelude::*;
+
+use odbgc_trace::codec::{decode, encode};
+use odbgc_trace::synthetic::{churn, ChurnConfig};
+
+proptest! {
+    #[test]
+    fn decode_never_panics_on_arbitrary_text(text in ".*") {
+        let _ = decode(&text);
+    }
+
+    #[test]
+    fn decode_never_panics_on_header_plus_noise(body in "[ -~\\n]{0,400}") {
+        let text = format!("odbgc-trace v1\n{body}");
+        let _ = decode(&text);
+    }
+
+    #[test]
+    fn truncated_encodings_fail_cleanly(seed in any::<u64>(), cut in 0.0f64..1.0) {
+        let cfg = ChurnConfig { steps: 80, ..ChurnConfig::default() };
+        let text = encode(&churn(&cfg, seed));
+        // Cut at a byte boundary that keeps the string valid UTF-8 (the
+        // format is ASCII, so any boundary works).
+        let at = ((text.len() as f64) * cut) as usize;
+        let truncated = &text[..at.min(text.len())];
+        // Must not panic; may succeed only if the cut landed on a line
+        // boundary (the format is line-delimited).
+        let _ = decode(truncated);
+    }
+
+    #[test]
+    fn single_byte_corruption_fails_cleanly(seed in any::<u64>(), pos_frac in 0.0f64..1.0, junk in 0u8..128) {
+        let cfg = ChurnConfig { steps: 40, ..ChurnConfig::default() };
+        let text = encode(&churn(&cfg, seed));
+        let mut bytes = text.into_bytes();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] = junk;
+        if let Ok(corrupted) = String::from_utf8(bytes) {
+            // Decoding either fails with a line-numbered error or — when
+            // the corruption happens to be benign (e.g. it hit a digit and
+            // produced another digit, or hit a comment) — succeeds. Both
+            // are fine; panicking is not.
+            if let Err(e) = decode(&corrupted) {
+                prop_assert!(e.line >= 1);
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn line_deletion_is_detected_or_harmless(seed in any::<u64>(), victim_frac in 0.0f64..1.0) {
+        let cfg = ChurnConfig { steps: 60, ..ChurnConfig::default() };
+        let trace = churn(&cfg, seed);
+        let text = encode(&trace);
+        let lines: Vec<&str> = text.lines().collect();
+        if lines.len() <= 2 {
+            return Ok(());
+        }
+        let victim = 1 + ((lines.len() - 1) as f64 * victim_frac) as usize % (lines.len() - 1);
+        let mutated: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != victim)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        // Event-level framing means a deleted line decodes to a shorter
+        // trace (the codec cannot know an event is missing), never a panic.
+        if let Ok(back) = decode(&mutated) {
+            prop_assert_eq!(back.len() + 1, trace.len());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Scenario: a DBA with a storage budget.
+//!
+//! "At most X% of my database may be garbage" is the SAGA policy's
+//! contract. SAGA cannot see garbage directly, so it relies on an
+//! estimator; this example runs the same requested level under all three
+//! (the impractical exact oracle, the coarse CGS/CB heuristic, and the
+//! practical FGS/HB heuristic) and compares what they achieve and what
+//! the collector's I/O bill is.
+//!
+//! ```sh
+//! cargo run --release -p odbgc-sim --example garbage_budget
+//! ```
+
+use odbgc_sim::core_policies::{EstimatorKind, SagaConfig, SagaPolicy};
+use odbgc_sim::oo7::{Oo7App, Oo7Params};
+use odbgc_sim::{SimConfig, Simulator};
+
+fn main() {
+    let (trace, _) = Oo7App::standard(Oo7Params::small_prime(3), 1).generate();
+    let sim = Simulator::new(SimConfig::default());
+    let requested = 10.0;
+
+    println!("requested garbage level: {requested}% of database size\n");
+    println!("estimator  achieved%  collections  gc-io(pages)  gc-io-share%");
+    for (name, kind) in [
+        ("oracle", EstimatorKind::Oracle),
+        ("cgs-cb", EstimatorKind::CgsCb),
+        ("fgs-hb", EstimatorKind::fgs_hb_default()),
+    ] {
+        let mut policy = SagaPolicy::new(SagaConfig::new(requested / 100.0), kind.build());
+        let r = sim.run(&trace, &mut policy).expect("trace replays");
+        println!(
+            "{:>9}  {:>9.2}  {:>11}  {:>12}  {:>12.2}",
+            name,
+            r.garbage_pct_mean.unwrap_or(f64::NAN),
+            r.collection_count(),
+            r.gc_io_total,
+            r.gc_io_pct_whole_run(),
+        );
+    }
+    println!();
+    println!("Reading the table: the oracle and FGS/HB hold garbage near the");
+    println!("requested level; CGS/CB overestimates garbage (it extrapolates");
+    println!("the yield of the deliberately garbage-rich partition that");
+    println!("UPDATEDPOINTER selects), so it collects far too eagerly —");
+    println!("achieving a much lower garbage level at a much higher I/O bill");
+    println!("than the user asked to pay (Figures 5 and 6 of the paper).");
+}

@@ -1,5 +1,5 @@
 //! Regenerates every table and figure, in paper order.
 fn main() {
-    let scale = odbgc_bench::Scale::from_env();
+    let scale = odbgc_bench::scale_from_args();
     println!("{}", odbgc_bench::experiments::all_reports(scale));
 }

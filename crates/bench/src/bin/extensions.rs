@@ -1,5 +1,5 @@
 //! Regenerates the report for this experiment (see crate docs).
 fn main() {
-    let scale = odbgc_bench::Scale::from_env();
+    let scale = odbgc_bench::scale_from_args();
     println!("{}", odbgc_bench::experiments::extensions::report(scale));
 }

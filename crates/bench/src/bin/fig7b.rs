@@ -1,5 +1,5 @@
 //! Regenerates Figure 7b (rate / yield / garbage over collections).
 fn main() {
-    let scale = odbgc_bench::Scale::from_env();
+    let scale = odbgc_bench::scale_from_args();
     println!("{}", odbgc_bench::experiments::fig7::report_7b(scale));
 }

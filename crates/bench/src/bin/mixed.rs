@@ -1,5 +1,5 @@
 //! Regenerates the mixed-workload experiment (two interleaved apps).
 fn main() {
-    let scale = odbgc_bench::Scale::from_env();
+    let scale = odbgc_bench::scale_from_args();
     println!("{}", odbgc_bench::experiments::mixed::report(scale));
 }

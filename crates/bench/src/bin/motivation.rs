@@ -1,6 +1,6 @@
 //! Regenerates the §2 motivation experiment (overwrite vs allocation
 //! triggering).
 fn main() {
-    let scale = odbgc_bench::Scale::from_env();
+    let scale = odbgc_bench::scale_from_args();
     println!("{}", odbgc_bench::experiments::motivation::report(scale));
 }

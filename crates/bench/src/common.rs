@@ -1,9 +1,12 @@
 //! Shared experiment plumbing.
+//!
+//! Figures that sweep a requested setting build one [`ExperimentPlan`]
+//! for the whole sweep — every requested fraction becomes a plan cell —
+//! so traces are generated once per seed and the (cell × seed) grid runs
+//! on the shared worker pool.
 
-use odbgc_sim::core_policies::{
-    EstimatorKind, HistoryLen, RatePolicy, SagaPolicy, SaioConfig, SaioPolicy,
-};
-use odbgc_sim::{run_oo7_experiment, sweep_point, RunResult, SweepPoint};
+use odbgc_sim::core_policies::{EstimatorKind, HistoryLen, PolicySpec};
+use odbgc_sim::{sweep_point, ExperimentPlan, RunResult, SweepPoint};
 
 use crate::scale::Scale;
 
@@ -18,6 +21,16 @@ pub fn adaptive_gc_io_pct(r: &RunResult, preferred_preamble: u64) -> Option<f64>
     }
     let preamble = preferred_preamble.min(n / 2);
     r.windowed_gc_io_pct(preamble)
+}
+
+/// A plan over the scale's workload with one cell per (pct, spec) pair.
+pub fn sweep_plan(
+    scale: Scale,
+    connectivity: u32,
+    seeds: &[u64],
+    cells: impl IntoIterator<Item = (f64, PolicySpec)>,
+) -> ExperimentPlan {
+    ExperimentPlan::new(scale.params(connectivity), seeds, scale.sim_config()).cells(cells)
 }
 
 /// Sweeps SAIO over requested I/O percentages; returns one aggregated
@@ -40,33 +53,25 @@ pub fn saio_sweep_seeded(
     history: HistoryLen,
     seeds: &[u64],
 ) -> Vec<SweepPoint> {
-    let params = scale.params(connectivity);
-    let seeds = seeds.to_vec();
-    let config = scale.sim_config();
-    fracs_pct
+    let plan = sweep_plan(
+        scale,
+        connectivity,
+        seeds,
+        fracs_pct
+            .iter()
+            .map(|&pct| (pct, PolicySpec::saio_hist(pct / 100.0, history))),
+    );
+    plan.run()
+        .cells
         .iter()
-        .map(|&pct| {
-            let outcome = run_oo7_experiment(params, &seeds, &config, || {
-                Box::new(SaioPolicy::new(
-                    SaioConfig::new(pct / 100.0).with_history(history),
-                ))
-            });
-            let achieved: Vec<f64> = outcome
+        .map(|cell| {
+            let achieved: Vec<f64> = cell
+                .outcome
                 .runs
                 .iter()
                 .filter_map(|r| adaptive_gc_io_pct(r, scale.preamble()))
                 .collect();
-            if achieved.is_empty() {
-                SweepPoint {
-                    x: pct,
-                    mean: f64::NAN,
-                    min: f64::NAN,
-                    max: f64::NAN,
-                    runs: 0,
-                }
-            } else {
-                sweep_point(pct, &achieved)
-            }
+            sweep_point(cell.x, &achieved)
         })
         .collect()
 }
@@ -89,43 +94,26 @@ pub fn saga_sweep_seeded(
     estimator: EstimatorKind,
     seeds: &[u64],
 ) -> Vec<SweepPoint> {
-    let params = scale.params(connectivity);
-    let seeds = seeds.to_vec();
-    let config = scale.sim_config();
-    fracs_pct
+    let plan = sweep_plan(
+        scale,
+        connectivity,
+        seeds,
+        fracs_pct
+            .iter()
+            .map(|&pct| (pct, scale.saga_spec(pct / 100.0, estimator))),
+    );
+    plan.run()
+        .cells
         .iter()
-        .map(|&pct| {
-            let outcome = run_oo7_experiment(params, &seeds, &config, || {
-                Box::new(SagaPolicy::new(scale.saga_config(pct / 100.0), estimator.build()))
-            });
-            let achieved = outcome.garbage_pcts();
-            if achieved.is_empty() {
-                SweepPoint {
-                    x: pct,
-                    mean: f64::NAN,
-                    min: f64::NAN,
-                    max: f64::NAN,
-                    runs: 0,
-                }
-            } else {
-                sweep_point(pct, &achieved)
-            }
-        })
+        .map(|cell| sweep_point(cell.x, &cell.outcome.garbage_pcts()))
         .collect()
 }
 
-/// Runs one policy across the scale's seeds and returns the runs.
-pub fn runs_for_policy<F>(scale: Scale, connectivity: u32, make: F) -> Vec<RunResult>
-where
-    F: Fn() -> Box<dyn RatePolicy> + Sync,
-{
-    run_oo7_experiment(
-        scale.params(connectivity),
-        &scale.seeds(),
-        &scale.sim_config(),
-        make,
-    )
-    .runs
+/// Runs one policy spec across the scale's seeds and returns the runs.
+pub fn runs_for_spec(scale: Scale, connectivity: u32, spec: PolicySpec) -> Vec<RunResult> {
+    let plan = sweep_plan(scale, connectivity, &scale.seeds(), [(0.0, spec)]);
+    let mut out = plan.run();
+    out.cells.remove(0).outcome.runs
 }
 
 /// The requested-percentage grids used across figures.
@@ -143,7 +131,6 @@ pub mod grids {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use odbgc_sim::core_policies::FixedRatePolicy;
 
     #[test]
     fn saio_sweep_produces_point_per_fraction() {
@@ -162,7 +149,7 @@ mod tests {
 
     #[test]
     fn adaptive_preamble_recovers_short_runs() {
-        let runs = runs_for_policy(Scale::Test, 2, || Box::new(FixedRatePolicy::new(30)));
+        let runs = runs_for_spec(Scale::Test, 2, PolicySpec::fixed(30));
         for r in &runs {
             if r.collection_count() >= 2 {
                 assert!(adaptive_gc_io_pct(r, 10).is_some());

@@ -160,7 +160,13 @@ pub fn schema_report(scale: Scale) -> String {
     format!(
         "-- Ablation: connection schema (garbage detached per overwrite) --\n{}",
         render_table(
-            &["schema", "overwrites", "garbage.KiB", "garbage/ow.B", "avg.ptrs"],
+            &[
+                "schema",
+                "overwrites",
+                "garbage.KiB",
+                "garbage/ow.B",
+                "avg.ptrs"
+            ],
             &rows
         )
     )
@@ -219,8 +225,7 @@ pub fn saio_history_report(scale: Scale) -> String {
     ]
     .into_iter()
     .map(|(name, hist)| {
-        let mut policy =
-            SaioPolicy::new(SaioConfig::new(requested / 100.0).with_history(hist));
+        let mut policy = SaioPolicy::new(SaioConfig::new(requested / 100.0).with_history(hist));
         let r = run_single(&trace, &scale.sim_config(), &mut policy);
         let achieved = crate::common::adaptive_gc_io_pct(&r, scale.preamble());
         vec![
@@ -256,7 +261,12 @@ mod tests {
     #[test]
     fn selection_report_covers_all_policies() {
         let r = selection_report(Scale::Test);
-        for name in ["UpdatedPointer", "Random", "RoundRobin", "MostGarbageOracle"] {
+        for name in [
+            "UpdatedPointer",
+            "Random",
+            "RoundRobin",
+            "MostGarbageOracle",
+        ] {
             assert!(r.contains(name), "missing {name}");
         }
     }
@@ -267,14 +277,7 @@ mod tests {
         let clocks: Vec<u64> = r
             .lines()
             .filter(|l| l.contains("non-null-old") || l.contains("all stores"))
-            .map(|l| {
-                l.split_whitespace()
-                    .rev()
-                    .nth(2)
-                    .unwrap()
-                    .parse()
-                    .unwrap()
-            })
+            .map(|l| l.split_whitespace().rev().nth(2).unwrap().parse().unwrap())
             .collect();
         assert_eq!(clocks.len(), 2);
         assert!(clocks[1] > clocks[0], "all-stores clock must be larger");
@@ -286,14 +289,7 @@ mod tests {
         let gpos: Vec<f64> = r
             .lines()
             .filter(|l| l.contains("bidirectional") || l.contains("forward-only"))
-            .map(|l| {
-                l.split_whitespace()
-                    .rev()
-                    .nth(1)
-                    .unwrap()
-                    .parse()
-                    .unwrap()
-            })
+            .map(|l| l.split_whitespace().rev().nth(1).unwrap().parse().unwrap())
             .collect();
         assert_eq!(gpos.len(), 2);
         assert!(

@@ -6,11 +6,11 @@
 //! I/O operations; infrequent collection (large rate) collects little of
 //! the garbage — the time/space trade-off motivating the whole paper.
 
-use odbgc_sim::core_policies::FixedRatePolicy;
+use odbgc_sim::core_policies::PolicySpec;
 use odbgc_sim::report::{fmt_f, render_table};
 use odbgc_sim::sweep_point;
 
-use crate::common::{grids, runs_for_policy};
+use crate::common::{grids, sweep_plan};
 use crate::scale::Scale;
 
 /// The aggregated data behind both panels.
@@ -25,10 +25,21 @@ pub fn run(scale: Scale) -> Fig1Data {
         Scale::Test => vec![10, 40, 160],
         _ => grids::FIG1_RATES.to_vec(),
     };
-    let rows = rates
-        .into_iter()
-        .map(|rate| {
-            let runs = runs_for_policy(scale, 3, || Box::new(FixedRatePolicy::new(rate)));
+    let plan = sweep_plan(
+        scale,
+        3,
+        &scale.seeds(),
+        rates
+            .iter()
+            .map(|&rate| (rate as f64, PolicySpec::fixed(rate))),
+    );
+    let rows = plan
+        .run()
+        .cells
+        .iter()
+        .zip(rates)
+        .map(|(cell, rate)| {
+            let runs = &cell.outcome.runs;
             let total_io: Vec<f64> = runs.iter().map(|r| r.total_io() as f64).collect();
             let collected: Vec<f64> = runs
                 .iter()
@@ -68,9 +79,7 @@ pub fn report(scale: Scale) -> String {
          garbage collected in KiB; mean/min/max over {} runs)\n{}",
         data.rows.first().map(|(_, p, _)| p.runs).unwrap_or(0),
         render_table(
-            &[
-                "rate", "io.mean", "io.min", "io.max", "gc.KiB", "gc.min", "gc.max"
-            ],
+            &["rate", "io.mean", "io.min", "io.max", "gc.KiB", "gc.min", "gc.max"],
             &rows
         )
     )

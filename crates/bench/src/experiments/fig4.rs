@@ -58,7 +58,13 @@ pub fn report(scale: Scale) -> String {
          (mean/min/max over seeds; h0 = c_hist 0, hinf = c_hist ∞)\n{}",
         render_table(
             &[
-                "req.%", "h0.mean", "h0.min", "h0.max", "hinf.mean", "hinf.min", "hinf.max"
+                "req.%",
+                "h0.mean",
+                "h0.min",
+                "h0.max",
+                "hinf.mean",
+                "hinf.min",
+                "hinf.max"
             ],
             &rows
         )

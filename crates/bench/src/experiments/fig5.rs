@@ -62,9 +62,7 @@ pub fn report(scale: Scale) -> String {
         "== Figure 5: SAGA accuracy (achieved garbage % vs requested) ==\n\
          (mean garbage % sampled at each event, post-preamble, over seeds)\n{}",
         render_table(
-            &[
-                "req.%", "oracle", "fgs-hb", "fgs.min", "fgs.max", "cgs-cb", "cgs.min", "cgs.max"
-            ],
+            &["req.%", "oracle", "fgs-hb", "fgs.min", "fgs.max", "cgs-cb", "cgs.min", "cgs.max"],
             &rows
         )
     )

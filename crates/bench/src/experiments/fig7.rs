@@ -76,10 +76,7 @@ pub fn report_7b(scale: Scale) -> String {
         .collect();
     format!(
         "== Figure 7b: collection rate, yield, and garbage over time (h=0.8, req 10%) ==\n{}",
-        render_table(
-            &["coll", "interval.ow", "yield.KiB", "garbage.%"],
-            &rows
-        )
+        render_table(&["coll", "interval.ow", "yield.KiB", "garbage.%"], &rows)
     )
 }
 

@@ -28,7 +28,11 @@ pub fn mixed_trace(scale: Scale) -> Trace {
     interleave(&[a, b], 42)
 }
 
-fn simulate(scale: Scale, trace: &Trace, policy: &mut dyn odbgc_sim::core_policies::RatePolicy) -> RunResult {
+fn simulate(
+    scale: Scale,
+    trace: &Trace,
+    policy: &mut dyn odbgc_sim::core_policies::RatePolicy,
+) -> RunResult {
     Simulator::new(scale.sim_config())
         .run(trace, policy)
         .expect("mixed trace replays cleanly")

@@ -56,7 +56,10 @@ pub fn run(scale: Scale) -> (RunResult, RunResult) {
 
 /// Collections that reclaimed nothing at all (pure I/O waste).
 pub fn zero_yield_collections(r: &RunResult) -> u64 {
-    r.collections.iter().filter(|c| c.bytes_reclaimed == 0).count() as u64
+    r.collections
+        .iter()
+        .filter(|c| c.bytes_reclaimed == 0)
+        .count() as u64
 }
 
 fn row(name: &str, r: &RunResult) -> Vec<String> {
@@ -73,7 +76,10 @@ fn row(name: &str, r: &RunResult) -> Vec<String> {
 /// Renders the report.
 pub fn report(scale: Scale) -> String {
     let (by_ow, by_alloc) = run(scale);
-    let rows = vec![row("overwrite-triggered", &by_ow), row("allocation-triggered", &by_alloc)];
+    let rows = vec![
+        row("overwrite-triggered", &by_ow),
+        row("allocation-triggered", &by_alloc),
+    ];
     format!(
         "== §2 motivation: overwrite vs allocation triggering ==\n\
          (calibrated to similar total collections; GenDB contains zero\n\

@@ -73,7 +73,8 @@ pub fn run(scale: Scale) -> StrawmanData {
 /// Renders the report.
 pub fn report(scale: Scale) -> String {
     let d = run(scale);
-    let misprediction = d.actual_garbage_per_overwrite / d.predicted_garbage_per_overwrite.max(1e-9);
+    let misprediction =
+        d.actual_garbage_per_overwrite / d.predicted_garbage_per_overwrite.max(1e-9);
     let rows = vec![
         vec![
             "predicted garbage/overwrite (B)".into(),
@@ -128,9 +129,7 @@ mod tests {
         );
         // Consequently the heuristic collects no more often than the
         // corrected rate would.
-        assert!(
-            d.heuristic_run.collection_count() <= d.corrected_run.collection_count()
-        );
+        assert!(d.heuristic_run.collection_count() <= d.corrected_run.collection_count());
     }
 
     #[test]

@@ -36,3 +36,34 @@ pub mod experiments;
 pub mod scale;
 
 pub use scale::Scale;
+
+/// Parses the shared binary flags and returns the scale.
+///
+/// Supported: `--jobs N` / `--jobs=N` — worker threads for experiment
+/// plans, exported as `ODBGC_JOBS` so every plan in the process sees it
+/// (default: all available cores). Scale still comes from `ODBGC_SCALE`.
+/// Unknown flags abort with a usage message.
+pub fn scale_from_args() -> Scale {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let jobs = if arg == "--jobs" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            Some(v.to_string())
+        } else {
+            eprintln!(
+                "usage: {} [--jobs N]",
+                std::env::args().next().unwrap_or_default()
+            );
+            std::process::exit(2);
+        };
+        match jobs.as_deref().map(str::parse::<usize>) {
+            Some(Ok(n)) if n >= 1 => std::env::set_var("ODBGC_JOBS", n.to_string()),
+            _ => {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    Scale::from_env()
+}

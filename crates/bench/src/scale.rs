@@ -78,6 +78,19 @@ impl Scale {
         }
         cfg
     }
+
+    /// [`Self::saga_config`] as a plan cell spec.
+    pub fn saga_spec(
+        self,
+        frac: f64,
+        estimator: odbgc_core::EstimatorKind,
+    ) -> odbgc_core::PolicySpec {
+        if self == Scale::Test {
+            odbgc_core::PolicySpec::saga_dt_max(frac, estimator, 20)
+        } else {
+            odbgc_core::PolicySpec::saga(frac, estimator)
+        }
+    }
 }
 
 #[cfg(test)]

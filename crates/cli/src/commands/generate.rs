@@ -54,6 +54,9 @@ mod tests {
 
     #[test]
     fn missing_out_flag_errors() {
-        assert!(run(&argv("--conn 3")).unwrap_err().to_string().contains("--out"));
+        assert!(run(&argv("--conn 3"))
+            .unwrap_err()
+            .to_string()
+            .contains("--out"));
     }
 }

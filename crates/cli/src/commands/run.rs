@@ -26,8 +26,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let trace = match trace_path {
         Some(path) => load_trace(&path)?,
         None => {
-            let params =
-                spec::build_params(params_name.as_deref(), conn, style.as_deref())?;
+            let params = spec::build_params(params_name.as_deref(), conn, style.as_deref())?;
             Oo7App::standard(params, seed).generate().0
         }
     };
@@ -72,8 +71,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 c.actual_garbage,
             ));
         }
-        std::fs::write(&path, csv)
-            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        std::fs::write(&path, csv).map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
     }
 
     let fmt_opt = |v: Option<f64>| match v {

@@ -1,11 +1,19 @@
 //! `odbgc sweep` — requested-vs-achieved sweeps over seeds.
 
-use odbgc_core::{EstimatorKind, SagaConfig, SagaPolicy, SaioPolicy};
-use odbgc_sim::{run_oo7_experiment, sweep_point, SimConfig, SweepPoint};
+use odbgc_core::{EstimatorKind, PolicySpec};
+use odbgc_sim::{sweep_point, ExperimentPlan, SimConfig, SweepPoint};
 
 use crate::flags::{parse_number_list, parse_seed_range, Flags};
 use crate::spec;
 use crate::CliError;
+
+/// What a sweep measures for each cell.
+enum Axis {
+    /// Achieved GC-I/O percentage (SAIO).
+    GcIo,
+    /// Achieved garbage percentage (SAGA).
+    Garbage,
+}
 
 /// Runs requested-vs-achieved sweeps over seeds.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -16,6 +24,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let conn: u32 = flags.get_or("conn", 3)?;
     let params_name = flags.get("params");
     let csv_path = flags.get("csv");
+    let jobs = match flags.get("jobs") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                return Err(CliError(format!(
+                    "--jobs needs a positive integer, got {v:?}"
+                )))
+            }
+        },
+        None => None,
+    };
     flags.finish()?;
 
     let params = spec::build_params(params_name.as_deref(), conn, None)?;
@@ -25,55 +44,26 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     // sweeps requested garbage%.
     let mut spec_parts = policy.split(':');
     let head = spec_parts.next().unwrap_or_default();
-    let results: Vec<SweepPoint> = match head {
-        "saio" => points
-            .iter()
-            .map(|&pct| {
-                let outcome = run_oo7_experiment(params, &seeds, &config, || {
-                    Box::new(SaioPolicy::with_frac(pct / 100.0))
-                });
-                let achieved = outcome.gc_io_pcts();
-                if achieved.is_empty() {
-                    SweepPoint {
-                        x: pct,
-                        mean: f64::NAN,
-                        min: f64::NAN,
-                        max: f64::NAN,
-                        runs: 0,
-                    }
-                } else {
-                    sweep_point(pct, &achieved)
-                }
-            })
-            .collect(),
+    let (axis, cells): (Axis, Vec<(f64, PolicySpec)>) = match head {
+        "saio" => (
+            Axis::GcIo,
+            points
+                .iter()
+                .map(|&pct| (pct, PolicySpec::saio(pct / 100.0)))
+                .collect(),
+        ),
         "saga" => {
             let estimator = match spec_parts.next() {
                 None => EstimatorKind::Oracle,
                 Some(tok) => spec::parse_estimator(tok)?,
             };
-            points
-                .iter()
-                .map(|&pct| {
-                    let outcome = run_oo7_experiment(params, &seeds, &config, || {
-                        Box::new(SagaPolicy::new(
-                            SagaConfig::new(pct / 100.0),
-                            estimator.build(),
-                        ))
-                    });
-                    let achieved = outcome.garbage_pcts();
-                    if achieved.is_empty() {
-                        SweepPoint {
-                            x: pct,
-                            mean: f64::NAN,
-                            min: f64::NAN,
-                            max: f64::NAN,
-                            runs: 0,
-                        }
-                    } else {
-                        sweep_point(pct, &achieved)
-                    }
-                })
-                .collect()
+            (
+                Axis::Garbage,
+                points
+                    .iter()
+                    .map(|&pct| (pct, PolicySpec::saga(pct / 100.0, estimator)))
+                    .collect(),
+            )
         }
         other => {
             return Err(CliError(format!(
@@ -82,24 +72,47 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
     };
 
+    let plan = ExperimentPlan::new(params, &seeds, config).cells(cells);
+    let outcome = plan.run_with_jobs(jobs);
+    let results: Vec<(SweepPoint, f64)> = outcome
+        .cells
+        .iter()
+        .map(|cell| {
+            let achieved = match axis {
+                Axis::GcIo => cell.outcome.gc_io_pcts(),
+                Axis::Garbage => cell.outcome.garbage_pcts(),
+            };
+            (
+                sweep_point(cell.x, &achieved),
+                cell.cpu_time().as_secs_f64(),
+            )
+        })
+        .collect();
+
     let mut out = format!(
-        "sweep of {policy} over {} seeds (conn {conn})\nrequested  achieved.mean  achieved.min  achieved.max\n",
-        seeds.len()
+        "sweep of {policy} over {} seeds (conn {conn}, {} workers)\nrequested  achieved.mean  achieved.min  achieved.max  wall.s\n",
+        seeds.len(),
+        outcome.jobs,
     );
-    let mut csv = String::from("requested,mean,min,max,runs\n");
-    for p in &results {
+    let mut csv = String::from("requested,mean,min,max,runs,wall_s\n");
+    for (p, wall_s) in &results {
         out.push_str(&format!(
-            "{:>9.1}  {:>13.2}  {:>12.2}  {:>12.2}\n",
-            p.x, p.mean, p.min, p.max
+            "{:>9.1}  {:>13.2}  {:>12.2}  {:>12.2}  {:>6.2}\n",
+            p.x, p.mean, p.min, p.max, wall_s
         ));
         csv.push_str(&format!(
-            "{},{},{},{},{}\n",
-            p.x, p.mean, p.min, p.max, p.runs
+            "{},{},{},{},{},{:.3}\n",
+            p.x, p.mean, p.min, p.max, p.runs, wall_s
         ));
     }
+    out.push_str(&format!(
+        "{} traces built, {} cache hits; elapsed {:.2}s\n",
+        outcome.cache.misses,
+        outcome.cache.hits,
+        outcome.elapsed.as_secs_f64(),
+    ));
     if let Some(path) = csv_path {
-        std::fs::write(&path, csv)
-            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        std::fs::write(&path, csv).map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
         out.push_str(&format!("csv written to {path}\n"));
     }
     Ok(out)
@@ -120,7 +133,8 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("requested"));
-        assert_eq!(out.lines().count(), 4);
+        assert!(out.contains("traces built"));
+        assert_eq!(out.lines().count(), 5);
     }
 
     #[test]
@@ -130,6 +144,39 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("10.0"));
+    }
+
+    #[test]
+    fn jobs_flag_does_not_change_results() {
+        let serial = run(&argv(
+            "--policy saio --points 10,20 --seeds 1..3 --params tiny --conn 2 --jobs 1",
+        ))
+        .unwrap();
+        let parallel = run(&argv(
+            "--policy saio --points 10,20 --seeds 1..3 --params tiny --conn 2 --jobs 8",
+        ))
+        .unwrap();
+        // Wall-time columns differ run to run; the data rows must not.
+        let data = |s: &str| -> Vec<String> {
+            s.lines()
+                .skip(2)
+                .take(2)
+                .map(|l| l.split_whitespace().take(4).collect::<Vec<_>>().join(" "))
+                .collect()
+        };
+        assert_eq!(data(&serial), data(&parallel));
+    }
+
+    #[test]
+    fn bad_jobs_flag_errors() {
+        assert!(run(&argv(
+            "--policy saio --points 10 --seeds 1 --params tiny --jobs 0"
+        ))
+        .is_err());
+        assert!(run(&argv(
+            "--policy saio --points 10 --seeds 1 --params tiny --jobs x"
+        ))
+        .is_err());
     }
 
     #[test]

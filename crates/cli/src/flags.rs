@@ -19,9 +19,7 @@ impl Flags {
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let Some(key) = arg.strip_prefix("--") else {
-                return Err(CliError(format!(
-                    "expected a --flag, found {arg:?}"
-                )));
+                return Err(CliError(format!("expected a --flag, found {arg:?}")));
             };
             let Some(value) = it.next() else {
                 return Err(CliError(format!("flag --{key} is missing its value")));
@@ -84,9 +82,7 @@ pub fn parse_seed_range(s: &str) -> Result<Vec<u64>, CliError> {
         }
         Ok((a..=b).collect())
     } else {
-        let v: u64 = s
-            .parse()
-            .map_err(|_| CliError(format!("bad seed {s:?}")))?;
+        let v: u64 = s.parse().map_err(|_| CliError(format!("bad seed {s:?}")))?;
         Ok(vec![v])
     }
 }

@@ -19,8 +19,15 @@
 //! | `saga:5%:cgs-cb` | SAGA with CGS/CB |
 //! | `fixed:200` | collect every 200 pointer overwrites |
 //! | `alloc:98304` | collect every 96 KiB allocated |
+//! | `coupled:10%:floor=5%[:stretch=X]` | SAIO stretched when garbage < floor |
+//! | `quiescent:idle=N:<spec>` | any policy + opportunistic idle collection |
 //!
-//! Everything is deterministic in `--seed`.
+//! The grammar lives in `odbgc_core::spec` ([`odbgc_core::PolicySpec`]):
+//! specs are data, parse/`Display` round-trip, and sweeps execute them as
+//! an `ExperimentPlan` on a worker pool sized by `--jobs` (or the
+//! `ODBGC_JOBS` environment variable, default: all cores).
+//!
+//! Everything is deterministic in `--seed`, whatever the worker count.
 
 #![warn(missing_docs)]
 
@@ -76,12 +83,16 @@ USAGE:
                  [--selector updated-pointer|random|round-robin|most-garbage]
                  [--series <csv>] [--preamble N] [--store paper|tiny]
   odbgc sweep    --policy saio|saga[:estimator] --points a,b,c [--seeds A..B]
-                 [--conn N] [--csv <file>]
+                 [--conn N] [--csv <file>] [--jobs N]
 
 POLICY SPECS:
-  saio:10%[:hist=N|inf]   SAGA:5%[:oracle|fgs-hb[@h]|cgs-cb]
+  saio:10%[:hist=N|inf]   saga:5%[:oracle|fgs-hb[@h]|cgs-cb]
   fixed:<overwrites>      alloc:<bytes>
+  coupled:10%:floor=5%[:stretch=X]
+  quiescent:idle=N:<spec>
 
+Sweeps run cell × seed on --jobs worker threads (or ODBGC_JOBS; default:
+all cores). Results are independent of the worker count.
 Everything is deterministic in --seed (default 1)."
         .to_owned()
 }

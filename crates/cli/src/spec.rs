@@ -1,119 +1,29 @@
 //! Textual specs for policies, selectors, and database parameters.
+//!
+//! Policy specs are parsed by `odbgc-core`'s [`PolicySpec`] grammar; this
+//! module adapts errors to [`CliError`] and keeps the selector and
+//! database-parameter specs, which are CLI-only concerns.
 
-use odbgc_core::{
-    AllocationRatePolicy, EstimatorKind, FixedRatePolicy, HistoryLen, RatePolicy, SagaConfig,
-    SagaPolicy, SaioConfig, SaioPolicy,
-};
+use odbgc_core::{EstimatorKind, PolicySpec, RatePolicy};
 use odbgc_gc::SelectorKind;
 use odbgc_oo7::{ConnStyle, Oo7Params};
 
 use crate::CliError;
 
-/// A percentage token: `10%`, `10`, or `0.1` — all meaning 10% when the
-/// value is ≥ 1, or the literal fraction when < 1.
-fn parse_fraction(tok: &str) -> Result<f64, CliError> {
-    let raw = tok.strip_suffix('%').unwrap_or(tok);
-    let v: f64 = raw
-        .parse()
-        .map_err(|_| CliError(format!("bad percentage {tok:?}")))?;
-    let frac = if tok.ends_with('%') || v >= 1.0 {
-        v / 100.0
-    } else {
-        v
-    };
-    if !(0.0..1.0).contains(&frac) && frac != 1.0 {
-        return Err(CliError(format!("percentage {tok:?} out of range")));
-    }
-    Ok(frac)
+/// Parses a policy spec string into its data form.
+pub fn parse_policy(spec: &str) -> Result<PolicySpec, CliError> {
+    spec.parse::<PolicySpec>().map_err(|e| CliError(e.0))
 }
 
 /// Parses an estimator token: `oracle`, `cgs-cb`, `fgs-hb`, `fgs-hb@0.5`.
 pub fn parse_estimator(tok: &str) -> Result<EstimatorKind, CliError> {
-    if tok == "oracle" {
-        return Ok(EstimatorKind::Oracle);
-    }
-    if tok == "cgs-cb" {
-        return Ok(EstimatorKind::CgsCb);
-    }
-    if let Some(rest) = tok.strip_prefix("fgs-hb") {
-        let h = match rest.strip_prefix('@') {
-            None if rest.is_empty() => 0.8,
-            Some(h) => h
-                .parse()
-                .map_err(|_| CliError(format!("bad history factor in {tok:?}")))?,
-            _ => return Err(CliError(format!("bad estimator {tok:?}"))),
-        };
-        if !(0.0..=1.0).contains(&h) {
-            return Err(CliError(format!("history factor {h} out of [0,1]")));
-        }
-        return Ok(EstimatorKind::FgsHb { h });
-    }
-    Err(CliError(format!(
-        "unknown estimator {tok:?} (oracle | cgs-cb | fgs-hb[@h])"
-    )))
+    odbgc_core::spec::parse_estimator(tok).map_err(|e| CliError(e.0))
 }
 
 /// Builds a rate policy from a spec string (see crate docs for the
 /// grammar).
 pub fn build_policy(spec: &str) -> Result<Box<dyn RatePolicy>, CliError> {
-    let mut parts = spec.split(':');
-    let head = parts.next().unwrap_or_default();
-    match head {
-        "saio" => {
-            let frac = parse_fraction(
-                parts
-                    .next()
-                    .ok_or_else(|| CliError("saio needs a percentage: saio:10%".into()))?,
-            )?;
-            let mut config = SaioConfig::new(frac);
-            if let Some(opt) = parts.next() {
-                let hist = opt
-                    .strip_prefix("hist=")
-                    .ok_or_else(|| CliError(format!("bad saio option {opt:?}")))?;
-                config.history = if hist == "inf" {
-                    HistoryLen::Infinite
-                } else {
-                    HistoryLen::Fixed(
-                        hist.parse()
-                            .map_err(|_| CliError(format!("bad history length {hist:?}")))?,
-                    )
-                };
-            }
-            Ok(Box::new(SaioPolicy::new(config)))
-        }
-        "saga" => {
-            let frac = parse_fraction(
-                parts
-                    .next()
-                    .ok_or_else(|| CliError("saga needs a percentage: saga:5%".into()))?,
-            )?;
-            let estimator = match parts.next() {
-                None => EstimatorKind::Oracle,
-                Some(tok) => parse_estimator(tok)?,
-            };
-            Ok(Box::new(SagaPolicy::new(
-                SagaConfig::new(frac),
-                estimator.build(),
-            )))
-        }
-        "fixed" => {
-            let rate: u64 = parts
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| CliError("fixed needs a rate: fixed:200".into()))?;
-            Ok(Box::new(FixedRatePolicy::new(rate)))
-        }
-        "alloc" => {
-            let bytes: u64 = parts
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| CliError("alloc needs bytes: alloc:98304".into()))?;
-            Ok(Box::new(AllocationRatePolicy::new(bytes)))
-        }
-        other => Err(CliError(format!(
-            "unknown policy {other:?} (saio | saga | fixed | alloc)"
-        ))),
-    }
+    Ok(parse_policy(spec)?.build())
 }
 
 /// Parses a partition-selector name.
@@ -161,17 +71,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fraction_forms() {
-        assert_eq!(parse_fraction("10%").unwrap(), 0.10);
-        assert_eq!(parse_fraction("10").unwrap(), 0.10);
-        assert_eq!(parse_fraction("0.1").unwrap(), 0.10);
-        assert!(parse_fraction("x").is_err());
-        assert!(parse_fraction("150%").is_err());
-    }
-
-    #[test]
     fn policy_specs_build_and_name_themselves() {
-        assert_eq!(build_policy("saio:10%").unwrap().name(), "saio(10.0%, c_hist=0)");
+        assert_eq!(
+            build_policy("saio:10%").unwrap().name(),
+            "saio(10.0%, c_hist=0)"
+        );
         assert_eq!(
             build_policy("saio:10%:hist=inf").unwrap().name(),
             "saio(10.0%, c_hist=inf)"
@@ -180,7 +84,10 @@ mod tests {
             build_policy("saio:10%:hist=4").unwrap().name(),
             "saio(10.0%, c_hist=4)"
         );
-        assert_eq!(build_policy("saga:5%").unwrap().name(), "saga(5.0%, oracle)");
+        assert_eq!(
+            build_policy("saga:5%").unwrap().name(),
+            "saga(5.0%, oracle)"
+        );
         assert_eq!(
             build_policy("saga:5%:fgs-hb@0.5").unwrap().name(),
             "saga(5.0%, fgs-hb(h=0.50))"
@@ -194,6 +101,19 @@ mod tests {
             build_policy("alloc:98304").unwrap().name(),
             "alloc-fixed(98304B)"
         );
+    }
+
+    #[test]
+    fn extension_policies_build() {
+        assert!(build_policy("coupled:10%:floor=5%").is_ok());
+        assert!(build_policy("quiescent:idle=2000:saga:5%").is_ok());
+    }
+
+    #[test]
+    fn parsed_specs_round_trip_to_canonical_strings() {
+        let spec = parse_policy("saio:0.1").unwrap();
+        assert_eq!(spec.to_string(), "saio:10%");
+        assert_eq!(parse_policy(&spec.to_string()).unwrap(), spec);
     }
 
     #[test]

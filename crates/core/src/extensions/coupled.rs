@@ -115,7 +115,14 @@ impl RatePolicy for CoupledSaioPolicy {
 mod tests {
     use super::*;
 
-    fn obs(app: u64, gc: u64, reclaimed: u64, po: u64, outstanding: u64, db: u64) -> CollectionObservation {
+    fn obs(
+        app: u64,
+        gc: u64,
+        reclaimed: u64,
+        po: u64,
+        outstanding: u64,
+        db: u64,
+    ) -> CollectionObservation {
         CollectionObservation {
             app_io_since_prev: app,
             gc_io: gc,

@@ -53,10 +53,9 @@ impl OpportunisticPolicy {
         Trigger {
             // Keep the tighter of the inner app-I/O bound (if any) and the
             // quiescence bound.
-            app_io: Some(
-                t.app_io
-                    .map_or(self.config.quiescence_io, |n| n.min(self.config.quiescence_io)),
-            ),
+            app_io: Some(t.app_io.map_or(self.config.quiescence_io, |n| {
+                n.min(self.config.quiescence_io)
+            })),
             ..t
         }
     }
@@ -92,10 +91,8 @@ mod tests {
     #[test]
     fn adds_quiescence_bound_to_overwrite_trigger() {
         let saga = SagaPolicy::new(SagaConfig::new(0.1), Box::new(Oracle));
-        let mut p = OpportunisticPolicy::new(
-            Box::new(saga),
-            OpportunisticConfig { quiescence_io: 500 },
-        );
+        let mut p =
+            OpportunisticPolicy::new(Box::new(saga), OpportunisticConfig { quiescence_io: 500 });
         let t = p.initial_trigger();
         assert_eq!(t.overwrites, Some(2)); // SAGA dt_min
         assert_eq!(t.app_io, Some(500));
@@ -120,15 +117,11 @@ mod tests {
                 "fake".into()
             }
         }
-        let mut p = OpportunisticPolicy::new(
-            Box::new(Fake),
-            OpportunisticConfig { quiescence_io: 500 },
-        );
+        let mut p =
+            OpportunisticPolicy::new(Box::new(Fake), OpportunisticConfig { quiescence_io: 500 });
         assert_eq!(p.initial_trigger().app_io, Some(100));
-        let mut p = OpportunisticPolicy::new(
-            Box::new(Fake),
-            OpportunisticConfig { quiescence_io: 50 },
-        );
+        let mut p =
+            OpportunisticPolicy::new(Box::new(Fake), OpportunisticConfig { quiescence_io: 50 });
         assert_eq!(p.initial_trigger().app_io, Some(50));
     }
 

@@ -54,7 +54,9 @@ pub struct AllocationRatePolicy {
 impl AllocationRatePolicy {
     /// `bytes` of allocation per collection (≥ 1).
     pub fn new(bytes: u64) -> Self {
-        AllocationRatePolicy { bytes: bytes.max(1) }
+        AllocationRatePolicy {
+            bytes: bytes.max(1),
+        }
     }
 
     /// The configured allocation budget per collection.

@@ -39,6 +39,7 @@ pub mod policy;
 pub mod saga;
 pub mod saio;
 pub mod slope;
+pub mod spec;
 
 pub use estimator::{EstimatorKind, GarbageEstimator};
 pub use estimators::cgs_cb::CgsCb;
@@ -52,3 +53,4 @@ pub use policy::{CollectionObservation, HistoryLen, RatePolicy, Trigger, Trigger
 pub use saga::{SagaConfig, SagaPolicy};
 pub use saio::{SaioConfig, SaioPolicy};
 pub use slope::WeightedSlope;
+pub use spec::{PolicySpec, SpecError};

@@ -177,7 +177,6 @@ impl HistoryLen {
 }
 
 /// A collection-rate policy: decides when the next collection runs.
-/// A collection-rate policy: decides when the next collection runs.
 pub trait RatePolicy {
     /// Trigger for the first collection of a run (cold start).
     fn initial_trigger(&mut self) -> Trigger;

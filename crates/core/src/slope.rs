@@ -108,8 +108,8 @@ mod tests {
         let mut s = WeightedSlope::new(0.7);
         s.update(0.0, 0.0);
         s.update(10.0, 100.0); // slope 10
-        // Read-only phase: time stuck at 10, y moves down (a collection
-        // reclaimed garbage).
+                               // Read-only phase: time stuck at 10, y moves down (a collection
+                               // reclaimed garbage).
         let v = s.update(10.0, 40.0);
         assert_eq!(v, 10.0);
         // Next advance measures from the refreshed baseline (10, 40).

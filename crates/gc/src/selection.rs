@@ -113,11 +113,7 @@ impl PartitionSelector for MostGarbageOracle {
     fn select(&mut self, partitions: &[PartitionSnapshot]) -> Option<PartitionId> {
         partitions
             .iter()
-            .max_by(|a, b| {
-                a.garbage_bytes
-                    .cmp(&b.garbage_bytes)
-                    .then(b.id.cmp(&a.id))
-            })
+            .max_by(|a, b| a.garbage_bytes.cmp(&b.garbage_bytes).then(b.id.cmp(&a.id)))
             .map(|s| s.id)
     }
 

@@ -254,7 +254,8 @@ mod tests {
             + 3 // assemblies
             + p.num_comp_per_module as u64 * 2 // composite + doc
             + p.num_atomic_parts()
-            + p.num_connections() - state.skipped_connections;
+            + p.num_connections()
+            - state.skipped_connections;
         assert_eq!(store.present_objects(), expected_objects);
         assert_eq!(store.live_bytes(), store.occupied_bytes());
     }

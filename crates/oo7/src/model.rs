@@ -223,7 +223,9 @@ mod tests {
         let mut comp = CompositeMirror {
             id: ObjectId::new(1),
             doc: ObjectId::new(2),
-            parts: (0..4).map(|i| Some(PartMirror::new(ObjectId::new(10 + i), &p))).collect(),
+            parts: (0..4)
+                .map(|i| Some(PartMirror::new(ObjectId::new(10 + i), &p)))
+                .collect(),
         };
         comp.parts[2] = None;
         assert_eq!(comp.live_part_indices(), vec![0, 1, 3]);

@@ -133,16 +133,21 @@ impl Oo7Params {
     /// Panics if the parameters are structurally unusable.
     pub fn validate(&self) {
         assert!(self.num_modules == 1, "multi-module databases unsupported");
-        assert!(self.num_atomic_per_comp >= 2, "need ≥ 2 parts per composite");
         assert!(
-            self.num_conn_per_atomic >= 1
-                && self.num_conn_per_atomic < self.num_atomic_per_comp,
+            self.num_atomic_per_comp >= 2,
+            "need ≥ 2 parts per composite"
+        );
+        assert!(
+            self.num_conn_per_atomic >= 1 && self.num_conn_per_atomic < self.num_atomic_per_comp,
             "connectivity must be in [1, parts-1]"
         );
         assert!(self.num_assm_levels >= 1);
         assert!(self.num_assm_per_assm >= 1);
         assert!(self.num_comp_per_module >= 1);
-        assert!(self.in_conn_capacity_factor >= 2, "in-slot capacity too small");
+        assert!(
+            self.in_conn_capacity_factor >= 2,
+            "in-slot capacity too small"
+        );
         for size in [
             self.document_size,
             self.manual_size,

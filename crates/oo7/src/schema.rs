@@ -75,9 +75,7 @@ impl Kind {
             Kind::BaseAssembly => p.num_comp_per_assm as usize,
             Kind::CompositePart => 1 + p.num_atomic_per_comp as usize,
             Kind::AtomicPart => match p.conn_style {
-                ConnStyle::Bidirectional => {
-                    (p.num_conn_per_atomic + p.in_conn_capacity()) as usize
-                }
+                ConnStyle::Bidirectional => (p.num_conn_per_atomic + p.in_conn_capacity()) as usize,
                 ConnStyle::Forward => p.num_conn_per_atomic as usize,
             },
             Kind::Connection => match p.conn_style {

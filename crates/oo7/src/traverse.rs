@@ -82,12 +82,8 @@ fn traverse_composite(state: &mut GenState, ci: u32) -> u64 {
             let comp = &state.module.composites[ci as usize];
             let pm = comp.part(pi);
             let part_id = pm.id;
-            let conns: Vec<(odbgc_trace::ObjectId, u32)> = pm
-                .out
-                .iter()
-                .flatten()
-                .map(|c| (c.id, c.to))
-                .collect();
+            let conns: Vec<(odbgc_trace::ObjectId, u32)> =
+                pm.out.iter().flatten().map(|c| (c.id, c.to)).collect();
             state.trace.access(part_id);
             count += 1;
             for (conn_id, to) in conns.into_iter().rev() {

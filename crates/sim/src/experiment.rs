@@ -32,8 +32,20 @@ pub struct SweepPoint {
 }
 
 /// Aggregates per-run scalar values into a sweep point.
+///
+/// Total on its input: an empty slice (every run left the scalar
+/// undefined, e.g. no collections fired in the measured window) yields
+/// `runs: 0` with NaN statistics, which reports render as "-".
 pub fn sweep_point(x: f64, values: &[f64]) -> SweepPoint {
-    assert!(!values.is_empty(), "sweep point needs at least one run");
+    if values.is_empty() {
+        return SweepPoint {
+            x,
+            mean: f64::NAN,
+            min: f64::NAN,
+            max: f64::NAN,
+            runs: 0,
+        };
+    }
     let sum: f64 = values.iter().sum();
     let min = values.iter().copied().fold(f64::INFINITY, f64::min);
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -72,6 +84,12 @@ impl ExperimentOutcome {
 
 /// Generates one OO7 trace per seed and runs each under a fresh policy
 /// from `make_policy`, in parallel.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `ExperimentPlan` of `PolicySpec` cells and call \
+            `run()` — see `crate::runner`; this closure-based shim will \
+            be removed after one release"
+)]
 pub fn run_oo7_experiment<F>(
     params: Oo7Params,
     seeds: &[u64],
@@ -96,7 +114,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("run panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run panicked"))
+            .collect()
     });
     ExperimentOutcome { runs }
 }
@@ -109,6 +130,7 @@ pub fn run_single(trace: &Trace, config: &SimConfig, policy: &mut dyn RatePolicy
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use odbgc_core::SaioPolicy;
@@ -123,19 +145,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one run")]
-    fn empty_sweep_point_panics() {
-        sweep_point(1.0, &[]);
+    fn empty_sweep_point_is_nan_with_zero_runs() {
+        let p = sweep_point(1.0, &[]);
+        assert_eq!(p.x, 1.0);
+        assert_eq!(p.runs, 0);
+        assert!(p.mean.is_nan() && p.min.is_nan() && p.max.is_nan());
     }
 
     #[test]
     fn multi_seed_experiment_produces_one_run_per_seed() {
-        let outcome = run_oo7_experiment(
-            Oo7Params::tiny(),
-            &[1, 2, 3],
-            &SimConfig::tiny(),
-            || Box::new(SaioPolicy::with_frac(0.10)),
-        );
+        let outcome = run_oo7_experiment(Oo7Params::tiny(), &[1, 2, 3], &SimConfig::tiny(), || {
+            Box::new(SaioPolicy::with_frac(0.10))
+        });
         assert_eq!(outcome.runs.len(), 3);
         // Different seeds → different traces → (almost surely) different
         // I/O totals; at minimum the runs all completed with collections.

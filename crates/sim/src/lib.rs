@@ -20,12 +20,18 @@ pub mod config;
 pub mod experiment;
 pub mod metrics;
 pub mod report;
+pub mod runner;
 pub mod series;
 pub mod simulator;
 
 pub use config::SimConfig;
-pub use experiment::{run_oo7_experiment, run_single, sweep_point, ExperimentOutcome, SweepPoint};
+#[allow(deprecated)]
+pub use experiment::run_oo7_experiment;
+pub use experiment::{run_single, sweep_point, ExperimentOutcome, SweepPoint};
 pub use metrics::RunMetrics;
+pub use runner::{
+    default_jobs, CacheStats, CellOutcome, ExperimentPlan, PlanCell, PlanOutcome, TraceCache,
+};
 pub use series::CollectionRecord;
 pub use simulator::{RunResult, SimError, Simulator};
 

@@ -115,7 +115,7 @@ mod tests {
         let mut m = RunMetrics::new(1);
         m.note_collection(100, 50); // window starts here
         assert_eq!(m.gc_io_pct(100, 50), None); // no I/O in window yet
-        // Since then: app 300-100=200, gc 100-50=50 → 20%.
+                                                // Since then: app 300-100=200, gc 100-50=50 → 20%.
         assert!((m.gc_io_pct(300, 100).unwrap() - 20.0).abs() < 1e-12);
     }
 

@@ -1,0 +1,384 @@
+//! Data-driven experiment execution.
+//!
+//! The paper's figures are grids: a list of requested settings (the
+//! x-axis) × a list of seeds, every cell simulated identically and then
+//! aggregated (§4.1). This module makes that grid a value — an
+//! [`ExperimentPlan`] of [`PolicySpec`] cells — and executes it on a
+//! fixed-size worker pool:
+//!
+//! * **Flattening.** The plan is flattened to (cell × seed) jobs pulled
+//!   from a shared work queue by `N` threads (`N` from an explicit
+//!   override, the `ODBGC_JOBS` environment variable, or
+//!   [`std::thread::available_parallelism`], in that order).
+//! * **Trace memoisation.** Every cell of a column replays the same OO7
+//!   trace, so traces are built exactly once per (params, seed) in a
+//!   shared [`TraceCache`] and handed out as `Arc`s. [`CacheStats`]
+//!   counts hits and misses so tests can assert the exactly-once
+//!   property.
+//! * **Deterministic reduction.** Results land in pre-assigned slots and
+//!   are reduced in (cell, seed) order, so the outcome is identical for
+//!   any thread count — `--jobs 1` and `--jobs 8` agree byte for byte.
+//! * **Timing.** Each job's wall time is recorded alongside its result
+//!   and surfaced per cell and per plan for reports.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use odbgc_core::PolicySpec;
+use odbgc_oo7::{Oo7App, Oo7Params};
+use odbgc_trace::Trace;
+
+use crate::config::SimConfig;
+use crate::experiment::ExperimentOutcome;
+use crate::simulator::{RunResult, Simulator};
+
+/// One cell of an experiment grid: a requested setting and the policy
+/// that should achieve it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCell {
+    /// The requested setting (the x-axis value, e.g. a percentage).
+    pub x: f64,
+    /// The policy to run in this cell.
+    pub spec: PolicySpec,
+}
+
+/// A complete experiment as data: workload parameters, seeds, simulator
+/// configuration, and the grid cells to run.
+#[derive(Debug, Clone)]
+pub struct ExperimentPlan {
+    /// OO7 database/workload parameters (shared by every cell).
+    pub params: Oo7Params,
+    /// Seeds, one trace per seed (shared by every cell).
+    pub seeds: Vec<u64>,
+    /// Simulator configuration (shared by every cell).
+    pub config: SimConfig,
+    /// The grid cells, in report order.
+    pub cells: Vec<PlanCell>,
+}
+
+impl ExperimentPlan {
+    /// A plan with no cells yet.
+    pub fn new(params: Oo7Params, seeds: &[u64], config: SimConfig) -> Self {
+        ExperimentPlan {
+            params,
+            seeds: seeds.to_vec(),
+            config,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Adds one grid cell.
+    pub fn cell(mut self, x: f64, spec: PolicySpec) -> Self {
+        self.cells.push(PlanCell { x, spec });
+        self
+    }
+
+    /// Adds one cell per (x, spec) pair.
+    pub fn cells(mut self, cells: impl IntoIterator<Item = (f64, PolicySpec)>) -> Self {
+        self.cells
+            .extend(cells.into_iter().map(|(x, spec)| PlanCell { x, spec }));
+        self
+    }
+
+    /// Executes the plan; worker count from [`default_jobs`].
+    pub fn run(&self) -> PlanOutcome {
+        self.run_with_jobs(None)
+    }
+
+    /// Executes the plan on `jobs` workers (`None` → [`default_jobs`]).
+    pub fn run_with_jobs(&self, jobs: Option<usize>) -> PlanOutcome {
+        run_plan(self, jobs)
+    }
+}
+
+/// Trace-cache hit/miss counts for one plan execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from an already-built trace.
+    pub hits: u64,
+    /// Lookups that had to build the trace (exactly one per seed).
+    pub misses: u64,
+}
+
+/// Builds each (params, seed) trace exactly once and shares it between
+/// all jobs that replay it.
+pub struct TraceCache {
+    params: Oo7Params,
+    slots: Vec<(u64, OnceLock<Arc<Trace>>)>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceCache {
+    /// An empty cache for the given workload over the given seeds.
+    pub fn new(params: Oo7Params, seeds: &[u64]) -> Self {
+        TraceCache {
+            params,
+            slots: seeds.iter().map(|&s| (s, OnceLock::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The trace for `seed`, building it on first use.
+    ///
+    /// Concurrent callers for the same seed block on the single builder
+    /// (via [`OnceLock`]), so the build happens exactly once; the miss
+    /// counter is bumped only inside the build, making `misses` the
+    /// exact number of traces generated.
+    pub fn get(&self, seed: u64) -> Arc<Trace> {
+        let slot = self
+            .slots
+            .iter()
+            .find(|(s, _)| *s == seed)
+            .map(|(_, slot)| slot)
+            .unwrap_or_else(|| panic!("seed {seed} not in plan"));
+        let mut built = false;
+        let trace = slot.get_or_init(|| {
+            built = true;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let (trace, _chars) = Oo7App::standard(self.params, seed).generate();
+            Arc::new(trace)
+        });
+        if !built {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(trace)
+    }
+
+    /// Hit/miss counts so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The results of one plan cell across all seeds.
+#[derive(Debug)]
+pub struct CellOutcome {
+    /// The requested setting, copied from the cell.
+    pub x: f64,
+    /// The policy spec, copied from the cell.
+    pub spec: PolicySpec,
+    /// One result per seed, in seed order.
+    pub outcome: ExperimentOutcome,
+    /// Per-seed job wall time, in seed order.
+    pub wall_times: Vec<Duration>,
+}
+
+impl CellOutcome {
+    /// Total wall time spent on this cell's jobs (sum over seeds; under
+    /// parallel execution this exceeds elapsed time).
+    pub fn cpu_time(&self) -> Duration {
+        self.wall_times.iter().sum()
+    }
+}
+
+/// The results of a whole plan.
+#[derive(Debug)]
+pub struct PlanOutcome {
+    /// One outcome per plan cell, in plan order.
+    pub cells: Vec<CellOutcome>,
+    /// Trace-cache statistics for the execution.
+    pub cache: CacheStats,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Elapsed wall time for the whole plan.
+    pub elapsed: Duration,
+}
+
+impl PlanOutcome {
+    /// Total per-job wall time across all cells (the work the pool did).
+    pub fn cpu_time(&self) -> Duration {
+        self.cells.iter().map(CellOutcome::cpu_time).sum()
+    }
+}
+
+/// The worker count used when none is given explicitly: the `ODBGC_JOBS`
+/// environment variable if set and positive, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("ODBGC_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn run_plan(plan: &ExperimentPlan, jobs: Option<usize>) -> PlanOutcome {
+    let started = Instant::now();
+    let n_seeds = plan.seeds.len();
+    let n_jobs_total = plan.cells.len() * n_seeds;
+    let workers = jobs
+        .unwrap_or_else(default_jobs)
+        .max(1)
+        .min(n_jobs_total.max(1));
+
+    let cache = TraceCache::new(plan.params, &plan.seeds);
+    // One pre-assigned slot per job: job i = cell (i / seeds) × seed
+    // (i % seeds). Workers only ever write their own slot, and the
+    // reduction below reads the slots in order — so the outcome does not
+    // depend on scheduling.
+    let slots: Vec<OnceLock<(RunResult, Duration)>> =
+        (0..n_jobs_total).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_jobs_total {
+                    break;
+                }
+                let cell = &plan.cells[i / n_seeds];
+                let seed = plan.seeds[i % n_seeds];
+                let job_started = Instant::now();
+                let trace = cache.get(seed);
+                let mut policy = cell.spec.build();
+                let result = Simulator::new(plan.config.clone())
+                    .run(&trace, policy.as_mut())
+                    .expect("OO7 trace must replay cleanly");
+                assert!(
+                    slots[i].set((result, job_started.elapsed())).is_ok(),
+                    "job slot written twice"
+                );
+            });
+        }
+    });
+
+    let mut slots = slots;
+    let cells = plan
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(c, cell)| {
+            let mut runs = Vec::with_capacity(n_seeds);
+            let mut wall_times = Vec::with_capacity(n_seeds);
+            for s in 0..n_seeds {
+                let (result, wall) = slots[c * n_seeds + s]
+                    .take()
+                    .expect("every job ran to completion");
+                runs.push(result);
+                wall_times.push(wall);
+            }
+            CellOutcome {
+                x: cell.x,
+                spec: cell.spec.clone(),
+                outcome: ExperimentOutcome { runs },
+                wall_times,
+            }
+        })
+        .collect();
+
+    PlanOutcome {
+        cells,
+        cache: cache.stats(),
+        jobs: workers,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbgc_core::EstimatorKind;
+
+    fn tiny_plan() -> ExperimentPlan {
+        ExperimentPlan::new(Oo7Params::tiny(), &[1, 2, 3], SimConfig::tiny()).cells([
+            (10.0, PolicySpec::saio(0.10)),
+            (
+                5.0,
+                PolicySpec::saga_dt_max(0.05, EstimatorKind::Oracle, 20),
+            ),
+        ])
+    }
+
+    #[test]
+    fn plan_runs_every_cell_for_every_seed() {
+        let out = tiny_plan().run_with_jobs(Some(2));
+        assert_eq!(out.cells.len(), 2);
+        for cell in &out.cells {
+            assert_eq!(cell.outcome.runs.len(), 3);
+            assert_eq!(cell.wall_times.len(), 3);
+            assert!(cell.wall_times.iter().all(|w| *w > Duration::ZERO));
+        }
+        assert!(out.elapsed > Duration::ZERO);
+        assert!(out.cpu_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn traces_are_built_exactly_once_per_seed() {
+        let plan = tiny_plan();
+        let out = plan.run_with_jobs(Some(4));
+        // 2 cells × 3 seeds = 6 lookups; 3 builds, 3 hits.
+        assert_eq!(out.cache.misses, plan.seeds.len() as u64);
+        assert_eq!(
+            out.cache.hits,
+            (plan.cells.len() as u64 - 1) * plan.seeds.len() as u64
+        );
+    }
+
+    #[test]
+    fn full_saio_sweep_builds_each_trace_exactly_once() {
+        // The paper's sweep protocol: 9 requested fractions × 10 seeds.
+        // All 90 jobs share 10 traces; the cache must build each exactly
+        // once and serve the remaining 80 lookups as hits — and the
+        // parallel outcome must be identical to the serial one.
+        let fracs = [0.02, 0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50];
+        let seeds: Vec<u64> = (1..=10).collect();
+        let plan = ExperimentPlan::new(Oo7Params::tiny(), &seeds, SimConfig::tiny()).cells(
+            fracs
+                .iter()
+                .map(|&frac| (frac * 100.0, PolicySpec::saio(frac))),
+        );
+        let parallel = plan.run_with_jobs(Some(8));
+        assert_eq!(parallel.cache.misses, 10, "one build per seed");
+        assert_eq!(parallel.cache.hits, 80, "all other lookups cached");
+
+        let serial = plan.run_with_jobs(Some(1));
+        assert_eq!(serial.cache.misses, 10);
+        for (p, s) in parallel.cells.iter().zip(&serial.cells) {
+            assert_eq!(p.x, s.x);
+            assert_eq!(p.spec, s.spec);
+            assert_eq!(p.outcome.runs, s.outcome.runs);
+        }
+    }
+
+    #[test]
+    fn cached_traces_are_byte_identical_to_fresh_generation() {
+        let cache = TraceCache::new(Oo7Params::tiny(), &[7]);
+        let first = cache.get(7);
+        let second = cache.get(7);
+        let fresh = Oo7App::standard(Oo7Params::tiny(), 7).generate().0;
+        assert_eq!(
+            odbgc_trace::codec::encode(&first),
+            odbgc_trace::codec::encode(&fresh)
+        );
+        assert_eq!(
+            odbgc_trace::codec::encode(&first),
+            odbgc_trace::codec::encode(&second)
+        );
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_job_count() {
+        let out = tiny_plan().run_with_jobs(Some(64));
+        assert!(out.jobs <= 6, "6 jobs cannot use {} workers", out.jobs);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in plan")]
+    fn cache_rejects_unplanned_seeds() {
+        TraceCache::new(Oo7Params::tiny(), &[1]).get(2);
+    }
+}

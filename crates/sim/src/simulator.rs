@@ -27,7 +27,7 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Everything one run produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Per-collection series.
     pub collections: Vec<CollectionRecord>,
@@ -254,8 +254,8 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use odbgc_core::{FixedRatePolicy, SagaConfig, SagaPolicy, SaioPolicy};
     use odbgc_core::{EstimatorKind, Oracle};
+    use odbgc_core::{FixedRatePolicy, SagaConfig, SagaPolicy, SaioPolicy};
     use odbgc_oo7::{Oo7App, Oo7Params};
 
     fn tiny_trace(seed: u64) -> Trace {

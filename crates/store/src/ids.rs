@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn partition_id_formats() {
         assert_eq!(format!("{}", PartitionId::new(3)), "P3");
-        assert_eq!(format!("{:?}", PageKey::new(PartitionId::new(3), 1)), "P3/pg1");
+        assert_eq!(
+            format!("{:?}", PageKey::new(PartitionId::new(3), 1)),
+            "P3/pg1"
+        );
     }
 
     #[test]

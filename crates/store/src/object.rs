@@ -46,7 +46,12 @@ pub struct ObjectInfo {
 
 impl ObjectInfo {
     /// A fresh live object.
-    pub fn new(size: u32, partition: PartitionId, offset: u32, slots: Box<[Option<ObjectId>]>) -> Self {
+    pub fn new(
+        size: u32,
+        partition: PartitionId,
+        offset: u32,
+        slots: Box<[Option<ObjectId>]>,
+    ) -> Self {
         ObjectInfo {
             size,
             partition,

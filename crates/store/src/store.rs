@@ -173,9 +173,7 @@ impl Store {
     /// assumed dead once the object is linked into the database), so the
     /// count is unchanged in that case.
     fn incr_ref(&mut self, id: ObjectId) {
-        let info = self
-            .info_mut(id)
-            .expect("refcount target must exist");
+        let info = self.info_mut(id).expect("refcount target must exist");
         debug_assert!(info.is_present(), "ref to destroyed object");
         if info.birth_pin {
             info.birth_pin = false;
@@ -191,9 +189,7 @@ impl Store {
         let mut created = 0;
         let mut stack = vec![id];
         while let Some(cur) = stack.pop() {
-            let info = self
-                .info_mut(cur)
-                .expect("refcount target must exist");
+            let info = self.info_mut(cur).expect("refcount target must exist");
             debug_assert!(info.refcount > 0, "refcount underflow on {cur}");
             info.refcount -= 1;
             if info.refcount == 0 && info.state == ObjState::Live {
@@ -421,7 +417,10 @@ impl Store {
 
     /// Bytes occupied by objects (live + garbage).
     pub fn occupied_bytes(&self) -> u64 {
-        self.partitions.iter().map(|p| u64::from(p.high_water)).sum()
+        self.partitions
+            .iter()
+            .map(|p| u64::from(p.high_water))
+            .sum()
     }
 
     /// Bytes of live (reachable) objects.
@@ -809,8 +808,11 @@ impl Store {
             u64::from(self.partitions[p.index()].occupied_pages(self.config.page_size));
         let overwrites_at_collection = self.partitions[p.index()].overwrites;
 
-        let resident_set: HashSet<ObjectId> =
-            self.partitions[p.index()].residents.iter().copied().collect();
+        let resident_set: HashSet<ObjectId> = self.partitions[p.index()]
+            .residents
+            .iter()
+            .copied()
+            .collect();
         let survivor_set: HashSet<ObjectId> = survivors.iter().copied().collect();
         assert_eq!(
             survivor_set.len(),
@@ -866,10 +868,7 @@ impl Store {
                     let tinfo = self.info(*t).expect("slot target exists");
                     let tp = tinfo.partition;
                     if tp != p {
-                        debug_assert!(
-                            tinfo.is_present(),
-                            "doomed object references destroyed {t}"
-                        );
+                        debug_assert!(tinfo.is_present(), "doomed object references destroyed {t}");
                         self.remsets.remove(d, SlotIdx::new(i as u32), tp);
                     }
                 }

@@ -40,7 +40,10 @@ fn check_invariants(store: &Store) {
             assert_eq!(store.partition_of(id).unwrap(), snap.id);
             resident_bytes += u64::from(store.size_of(id).unwrap());
         }
-        assert_eq!(snap.live_bytes + snap.garbage_bytes, u64::from(snap.occupied_bytes));
+        assert_eq!(
+            snap.live_bytes + snap.garbage_bytes,
+            u64::from(snap.occupied_bytes)
+        );
     }
     assert_eq!(resident_bytes, store.occupied_bytes());
 }

@@ -33,7 +33,11 @@ pub struct DecodeError {
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace decode error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace decode error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -153,7 +157,10 @@ pub fn decode(text: &str) -> Result<Trace, DecodeError> {
                 phase_names = toks.map(str::to_owned).collect();
             }
             "c" => {
-                let id = parse_obj(toks.next().ok_or_else(|| err(lineno, "missing id"))?, lineno)?;
+                let id = parse_obj(
+                    toks.next().ok_or_else(|| err(lineno, "missing id"))?,
+                    lineno,
+                )?;
                 let size: u32 = toks
                     .next()
                     .and_then(|t| t.parse().ok())
@@ -179,12 +186,17 @@ pub fn decode(text: &str) -> Result<Trace, DecodeError> {
                 });
             }
             "a" => {
-                let id = parse_obj(toks.next().ok_or_else(|| err(lineno, "missing id"))?, lineno)?;
+                let id = parse_obj(
+                    toks.next().ok_or_else(|| err(lineno, "missing id"))?,
+                    lineno,
+                )?;
                 events.push(Event::Access { id });
             }
             "w" => {
-                let src =
-                    parse_obj(toks.next().ok_or_else(|| err(lineno, "missing src"))?, lineno)?;
+                let src = parse_obj(
+                    toks.next().ok_or_else(|| err(lineno, "missing src"))?,
+                    lineno,
+                )?;
                 let slot: u32 = toks
                     .next()
                     .and_then(|t| t.parse().ok())
@@ -200,11 +212,17 @@ pub fn decode(text: &str) -> Result<Trace, DecodeError> {
                 });
             }
             "r+" => {
-                let id = parse_obj(toks.next().ok_or_else(|| err(lineno, "missing id"))?, lineno)?;
+                let id = parse_obj(
+                    toks.next().ok_or_else(|| err(lineno, "missing id"))?,
+                    lineno,
+                )?;
                 events.push(Event::RootAdd { id });
             }
             "r-" => {
-                let id = parse_obj(toks.next().ok_or_else(|| err(lineno, "missing id"))?, lineno)?;
+                let id = parse_obj(
+                    toks.next().ok_or_else(|| err(lineno, "missing id"))?,
+                    lineno,
+                )?;
                 events.push(Event::RootRemove { id });
             }
             "ph" => {

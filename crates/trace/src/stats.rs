@@ -31,10 +31,7 @@ impl TraceStats {
         let mut current_phase: Option<usize> = None;
         for ev in trace.iter() {
             if let Event::Phase { id } = ev {
-                let name = trace
-                    .phase_name(*id)
-                    .unwrap_or("<unknown>")
-                    .to_owned();
+                let name = trace.phase_name(*id).unwrap_or("<unknown>").to_owned();
                 stats.by_phase.push((name, BTreeMap::new()));
                 current_phase = Some(stats.by_phase.len() - 1);
             }

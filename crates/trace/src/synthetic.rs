@@ -56,7 +56,10 @@ pub fn churn(config: &ChurnConfig, seed: u64) -> Trace {
     let mut graph: Vec<Vec<Option<ObjectId>>> = Vec::new();
     let mut anchors = Vec::with_capacity(config.anchors);
     for _ in 0..config.anchors.max(1) {
-        let id = b.create_unlinked(rng.random_range(config.size_range.0..=config.size_range.1), slots);
+        let id = b.create_unlinked(
+            rng.random_range(config.size_range.0..=config.size_range.1),
+            slots,
+        );
         b.root_add(id);
         graph.push(vec![None; slots]);
         anchors.push(id);

@@ -12,13 +12,16 @@ fn arb_event() -> impl Strategy<Value = Event> {
     let obj = (0u64..1000).prop_map(ObjectId::new);
     let opt_obj = proptest::option::of((0u64..1000).prop_map(ObjectId::new));
     prop_oneof![
-        (obj.clone(), 1u32..10_000, proptest::collection::vec(opt_obj.clone(), 0..8)).prop_map(
-            |(id, size, slots)| Event::Create {
+        (
+            obj.clone(),
+            1u32..10_000,
+            proptest::collection::vec(opt_obj.clone(), 0..8)
+        )
+            .prop_map(|(id, size, slots)| Event::Create {
                 id,
                 size,
                 slots: slots.into_boxed_slice(),
-            }
-        ),
+            }),
         obj.clone().prop_map(|id| Event::Access { id }),
         (obj.clone(), 0u32..8, opt_obj).prop_map(|(src, slot, new)| Event::SlotWrite {
             src,

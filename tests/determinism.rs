@@ -1,10 +1,10 @@
 //! Reproducibility: the entire pipeline — generation, replay, policy
 //! decisions, selection — is a pure function of (parameters, seed).
 
-use odbgc_sim::core_policies::{EstimatorKind, SagaConfig, SagaPolicy, SaioPolicy};
+use odbgc_sim::core_policies::{EstimatorKind, PolicySpec, SagaConfig, SagaPolicy, SaioPolicy};
 use odbgc_sim::oo7::{Oo7App, Oo7Params};
 use odbgc_sim::trace::codec;
-use odbgc_sim::{SimConfig, Simulator};
+use odbgc_sim::{ExperimentPlan, SimConfig, Simulator};
 
 #[test]
 fn trace_generation_is_a_pure_function_of_seed() {
@@ -56,13 +56,14 @@ fn simulation_results_are_identical_across_repeated_runs() {
 
 #[test]
 fn parallel_experiment_matches_sequential_runs() {
-    // The multi-seed runner spawns a thread per seed; results must match
-    // running each seed alone.
+    // The plan runner distributes (cell × seed) jobs over a worker pool;
+    // results must match running each seed alone.
     let params = Oo7Params::small_prime(3);
     let config = SimConfig::default();
-    let parallel = odbgc_sim::run_oo7_experiment(params, &[1, 2, 3], &config, || {
-        Box::new(SaioPolicy::with_frac(0.05))
-    });
+    let outcome = ExperimentPlan::new(params, &[1, 2, 3], config.clone())
+        .cell(5.0, PolicySpec::saio(0.05))
+        .run();
+    let parallel = &outcome.cells[0].outcome;
     for (i, seed) in [1u64, 2, 3].iter().enumerate() {
         let trace = Oo7App::standard(params, *seed).generate().0;
         let mut p = SaioPolicy::with_frac(0.05);
@@ -79,13 +80,14 @@ fn different_seeds_vary_but_agree_qualitatively() {
     // The paper's error bars are "hard to distinguish" because seed
     // variation is small: achieved SAIO percentages across seeds must
     // stay within a narrow band.
-    let outcome = odbgc_sim::run_oo7_experiment(
+    let outcome = ExperimentPlan::new(
         Oo7Params::small_prime(3),
         &[1, 2, 3, 4, 5],
-        &SimConfig::default(),
-        || Box::new(SaioPolicy::with_frac(0.10)),
-    );
-    let achieved = outcome.gc_io_pcts();
+        SimConfig::default(),
+    )
+    .cell(10.0, PolicySpec::saio(0.10))
+    .run();
+    let achieved = outcome.cells[0].outcome.gc_io_pcts();
     assert_eq!(achieved.len(), 5);
     let min = achieved.iter().copied().fold(f64::INFINITY, f64::min);
     let max = achieved.iter().copied().fold(f64::NEG_INFINITY, f64::max);

@@ -31,7 +31,11 @@ fn check_accounting(r: &RunResult) {
     // Database size is sane: at least the live bytes, at most a generous
     // multiple (partitions hold dead space and free tails).
     assert!(r.final_db_size >= r.final_live_bytes);
-    assert!(r.final_db_size < 16 * 1_048_576, "db exploded: {}", r.final_db_size);
+    assert!(
+        r.final_db_size < 16 * 1_048_576,
+        "db exploded: {}",
+        r.final_db_size
+    );
 }
 
 #[test]

@@ -90,10 +90,7 @@ fn figure5_estimator_quality_ordering() {
     let oracle = err_for(EstimatorKind::Oracle);
     let fgs = err_for(EstimatorKind::fgs_hb_default());
     let cgs = err_for(EstimatorKind::CgsCb);
-    assert!(
-        fgs < cgs,
-        "FGS/HB mean error {fgs} must beat CGS/CB {cgs}"
-    );
+    assert!(fgs < cgs, "FGS/HB mean error {fgs} must beat CGS/CB {cgs}");
     assert!(
         oracle <= fgs + 0.5,
         "oracle error {oracle} should not exceed FGS/HB {fgs}"

@@ -67,8 +67,7 @@ pub fn saio_sweep_seeded(
         .map(|cell| {
             let achieved: Vec<f64> = cell
                 .outcome
-                .runs
-                .iter()
+                .successes()
                 .filter_map(|r| adaptive_gc_io_pct(r, scale.preamble()))
                 .collect();
             sweep_point(cell.x, &achieved)
@@ -109,11 +108,18 @@ pub fn saga_sweep_seeded(
         .collect()
 }
 
-/// Runs one policy spec across the scale's seeds and returns the runs.
+/// Runs one policy spec across the scale's seeds and returns the
+/// successful runs (failed seeds are skipped, not fatal).
 pub fn runs_for_spec(scale: Scale, connectivity: u32, spec: PolicySpec) -> Vec<RunResult> {
     let plan = sweep_plan(scale, connectivity, &scale.seeds(), [(0.0, spec)]);
     let mut out = plan.run();
-    out.cells.remove(0).outcome.runs
+    out.cells
+        .remove(0)
+        .outcome
+        .runs
+        .into_iter()
+        .filter_map(Result::ok)
+        .collect()
 }
 
 /// The requested-percentage grids used across figures.

@@ -43,7 +43,7 @@ pub fn selection_report(scale: Scale) -> String {
             ..scale.sim_config()
         };
         let mut policy = FixedRatePolicy::new(rate);
-        let r = run_single(&trace, &config, &mut policy);
+        let r = run_single(&trace, &config, &mut policy).expect("OO7 trace replays cleanly");
         let per_coll = if r.collection_count() == 0 {
             0.0
         } else {
@@ -88,7 +88,7 @@ pub fn semantics_report(scale: Scale) -> String {
             scale.saga_config(0.10),
             odbgc_sim::core_policies::EstimatorKind::Oracle.build(),
         );
-        let r = run_single(&trace, &config, &mut policy);
+        let r = run_single(&trace, &config, &mut policy).expect("OO7 trace replays cleanly");
         vec![
             name.to_string(),
             r.overwrite_clock.to_string(),
@@ -114,7 +114,7 @@ pub fn buffer_report(scale: Scale) -> String {
             let mut config = scale.sim_config();
             config.store.buffer_pages = pages;
             let mut policy = odbgc_sim::core_policies::SaioPolicy::with_frac(0.10);
-            let r = run_single(&trace, &config, &mut policy);
+            let r = run_single(&trace, &config, &mut policy).expect("OO7 trace replays cleanly");
             vec![
                 pages.to_string(),
                 r.app_io_total.to_string(),
@@ -142,7 +142,8 @@ pub fn schema_report(scale: Scale) -> String {
         params.conn_style = style;
         let (trace, chars) = Oo7App::standard(params, scale.series_seed()).generate();
         let mut policy = FixedRatePolicy::new(fixed_rate_for(scale));
-        let r = run_single(&trace, &scale.sim_config(), &mut policy);
+        let r = run_single(&trace, &scale.sim_config(), &mut policy)
+            .expect("OO7 trace replays cleanly");
         let gpo = if r.overwrite_clock == 0 {
             0.0
         } else {
@@ -187,7 +188,7 @@ pub fn partition_report(scale: Scale) -> String {
                 scale.saga_config(0.10),
                 odbgc_sim::core_policies::EstimatorKind::Oracle.build(),
             );
-            let r = run_single(&trace, &config, &mut policy);
+            let r = run_single(&trace, &config, &mut policy).expect("OO7 trace replays cleanly");
             let yield_per_coll = if r.collection_count() == 0 {
                 0.0
             } else {
@@ -226,7 +227,8 @@ pub fn saio_history_report(scale: Scale) -> String {
     .into_iter()
     .map(|(name, hist)| {
         let mut policy = SaioPolicy::new(SaioConfig::new(requested / 100.0).with_history(hist));
-        let r = run_single(&trace, &scale.sim_config(), &mut policy);
+        let r = run_single(&trace, &scale.sim_config(), &mut policy)
+            .expect("OO7 trace replays cleanly");
         let achieved = crate::common::adaptive_gc_io_pct(&r, scale.preamble());
         vec![
             name.to_string(),

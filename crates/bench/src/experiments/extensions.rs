@@ -22,7 +22,7 @@ use crate::scale::Scale;
 
 fn run_policy(scale: Scale, policy: &mut dyn RatePolicy) -> RunResult {
     let (trace, _) = Oo7App::standard(scale.params(3), scale.series_seed()).generate();
-    run_single(&trace, &scale.sim_config(), policy)
+    run_single(&trace, &scale.sim_config(), policy).expect("OO7 trace replays cleanly")
 }
 
 /// Collections performed during the Traverse phase of a run.

@@ -39,10 +39,16 @@ pub fn run(scale: Scale) -> Fig1Data {
         .iter()
         .zip(rates)
         .map(|(cell, rate)| {
-            let runs = &cell.outcome.runs;
-            let total_io: Vec<f64> = runs.iter().map(|r| r.total_io() as f64).collect();
-            let collected: Vec<f64> = runs
-                .iter()
+            // Aggregate the successful seeds; a failed seed shrinks the
+            // run count instead of aborting the figure.
+            let total_io: Vec<f64> = cell
+                .outcome
+                .successes()
+                .map(|r| r.total_io() as f64)
+                .collect();
+            let collected: Vec<f64> = cell
+                .outcome
+                .successes()
                 .map(|r| r.total_garbage_collected as f64 / 1024.0)
                 .collect();
             (

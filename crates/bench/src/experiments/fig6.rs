@@ -25,7 +25,7 @@ pub fn run_series(scale: Scale, estimator: EstimatorKind) -> RunResult {
         ..scale.sim_config()
     };
     let mut policy = SagaPolicy::new(scale.saga_config(REQUESTED_PCT / 100.0), estimator.build());
-    run_single(&trace, &config, &mut policy)
+    run_single(&trace, &config, &mut policy).expect("OO7 trace replays cleanly")
 }
 
 fn series_table(result: &RunResult) -> String {

@@ -32,7 +32,7 @@ pub fn run_with_h(scale: Scale, h: f64) -> RunResult {
         ..scale.sim_config()
     };
     let mut policy = SagaPolicy::new(scale.saga_config(REQUESTED_PCT / 100.0), kind.build());
-    run_single(&trace, &config, &mut policy)
+    run_single(&trace, &config, &mut policy).expect("OO7 trace replays cleanly")
 }
 
 /// Renders Figure 7a.

@@ -41,7 +41,8 @@ pub fn run(scale: Scale) -> (RunResult, RunResult) {
         _ => 200,
     };
     let mut overwrite_policy = FixedRatePolicy::new(rate);
-    let by_overwrites = run_single(&trace, &config, &mut overwrite_policy);
+    let by_overwrites =
+        run_single(&trace, &config, &mut overwrite_policy).expect("OO7 trace replays cleanly");
 
     // Calibrate: total allocation / target collection count.
     let total_alloc: u64 = {
@@ -50,7 +51,8 @@ pub fn run(scale: Scale) -> (RunResult, RunResult) {
     };
     let bytes_per_coll = (total_alloc / by_overwrites.collection_count().max(1)).max(1);
     let mut alloc_policy = AllocationRatePolicy::new(bytes_per_coll);
-    let by_allocation = run_single(&trace, &config, &mut alloc_policy);
+    let by_allocation =
+        run_single(&trace, &config, &mut alloc_policy).expect("OO7 trace replays cleanly");
     (by_overwrites, by_allocation)
 }
 

@@ -46,7 +46,8 @@ pub fn run(scale: Scale) -> StrawmanData {
     let predicted = chars.avg_object_size() / chars.avg_connectivity();
 
     let mut heuristic_policy = FixedRatePolicy::new(heuristic_rate);
-    let heuristic_run = run_single(&trace, &config, &mut heuristic_policy);
+    let heuristic_run =
+        run_single(&trace, &config, &mut heuristic_policy).expect("OO7 trace replays cleanly");
 
     // Ground truth garbage creation per overwrite.
     let actual = if heuristic_run.overwrite_clock == 0 {
@@ -59,7 +60,8 @@ pub fn run(scale: Scale) -> StrawmanData {
     // rate (one partition's worth of actual garbage per collection).
     let corrected_rate = (partition_bytes as f64 / actual.max(1.0)).round() as u64;
     let mut corrected_policy = FixedRatePolicy::new(corrected_rate.max(1));
-    let corrected_run = run_single(&trace, &config, &mut corrected_policy);
+    let corrected_run =
+        run_single(&trace, &config, &mut corrected_policy).expect("OO7 trace replays cleanly");
 
     StrawmanData {
         predicted_garbage_per_overwrite: predicted,

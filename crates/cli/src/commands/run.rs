@@ -1,7 +1,7 @@
 //! `odbgc run` — simulate one policy over a trace.
 
 use odbgc_oo7::Oo7App;
-use odbgc_sim::{SimConfig, Simulator};
+use odbgc_sim::{run_single, SimConfig};
 
 use crate::commands::load_trace;
 use crate::flags::Flags;
@@ -49,8 +49,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         config.selector_seed = seed;
     }
     let mut policy = spec::build_policy(&policy_spec)?;
-    let result = Simulator::new(config)
-        .run(&trace, policy.as_mut())
+    let result = run_single(&trace, &config, policy.as_mut())
         .map_err(|e| CliError(format!("simulation failed: {e}")))?;
 
     if let Some(path) = series_path {

@@ -1,7 +1,8 @@
 //! `odbgc sweep` — requested-vs-achieved sweeps over seeds.
 
 use odbgc_core::{EstimatorKind, PolicySpec};
-use odbgc_sim::{sweep_point, ExperimentPlan, SimConfig, SweepPoint};
+use odbgc_sim::report::fmt_f;
+use odbgc_sim::{sweep_point, ExperimentPlan, FaultKind, FaultSpec, SimConfig, SweepPoint};
 
 use crate::flags::{parse_number_list, parse_seed_range, Flags};
 use crate::spec;
@@ -33,6 +34,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 )))
             }
         },
+        None => None,
+    };
+    // Test rig: `--poison CELL:SEED` deterministically corrupts one job's
+    // trace so the failure-reporting path can be exercised end to end.
+    let poison = match flags.get("poison") {
+        Some(v) => Some(parse_poison(&v)?),
         None => None,
     };
     flags.finish()?;
@@ -72,7 +79,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
     };
 
-    let plan = ExperimentPlan::new(params, &seeds, config).cells(cells);
+    let mut plan = ExperimentPlan::new(params, &seeds, config).cells(cells);
+    if let Some((cell_index, seed)) = poison {
+        plan = plan.inject_fault(FaultSpec {
+            cell_index,
+            seed,
+            kind: FaultKind::PoisonTrace,
+        });
+    }
     let outcome = plan.run_with_jobs(jobs);
     let results: Vec<(SweepPoint, f64)> = outcome
         .cells
@@ -90,19 +104,31 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         .collect();
 
     let mut out = format!(
-        "sweep of {policy} over {} seeds (conn {conn}, {} workers)\nrequested  achieved.mean  achieved.min  achieved.max  wall.s\n",
+        "sweep of {policy} over {} seeds (conn {conn}, {} workers)\nrequested  achieved.mean  achieved.min  achieved.max  runs  wall.s\n",
         seeds.len(),
         outcome.jobs,
     );
     let mut csv = String::from("requested,mean,min,max,runs,wall_s\n");
     for (p, wall_s) in &results {
+        // Cells whose every seed failed have no statistics; fmt_f renders
+        // their NaN mean/min/max as "-" instead of a misleading number.
         out.push_str(&format!(
-            "{:>9.1}  {:>13.2}  {:>12.2}  {:>12.2}  {:>6.2}\n",
-            p.x, p.mean, p.min, p.max, wall_s
+            "{:>9.1}  {:>13}  {:>12}  {:>12}  {:>4}  {:>6.2}\n",
+            p.x,
+            fmt_f(p.mean, 2),
+            fmt_f(p.min, 2),
+            fmt_f(p.max, 2),
+            p.runs,
+            wall_s
         ));
         csv.push_str(&format!(
             "{},{},{},{},{},{:.3}\n",
-            p.x, p.mean, p.min, p.max, p.runs, wall_s
+            p.x,
+            fmt_f(p.mean, 4),
+            fmt_f(p.min, 4),
+            fmt_f(p.max, 4),
+            p.runs,
+            wall_s
         ));
     }
     out.push_str(&format!(
@@ -115,7 +141,31 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         std::fs::write(&path, csv).map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
         out.push_str(&format!("csv written to {path}\n"));
     }
+    if !outcome.failures.is_empty() {
+        // One line per failed job, then a nonzero exit: partial results
+        // above are real, but the caller must notice the sweep was not
+        // complete.
+        out.push_str(&format!("{} job(s) failed:\n", outcome.failures.len()));
+        for f in &outcome.failures {
+            out.push_str(&format!("  failed: {f}\n"));
+        }
+        return Err(CliError(out));
+    }
     Ok(out)
+}
+
+/// Parses `--poison CELL:SEED` (both decimal integers).
+fn parse_poison(v: &str) -> Result<(usize, u64), CliError> {
+    let bad = || {
+        CliError(format!(
+            "--poison wants CELL:SEED (two integers), got {v:?}"
+        ))
+    };
+    let (cell, seed) = v.split_once(':').ok_or_else(bad)?;
+    Ok((
+        cell.trim().parse().map_err(|_| bad())?,
+        seed.trim().parse().map_err(|_| bad())?,
+    ))
 }
 
 #[cfg(test)]
@@ -182,5 +232,31 @@ mod tests {
     #[test]
     fn sweep_rejects_fixed_policies() {
         assert!(run(&argv("--policy fixed:200 --points 1 --seeds 1")).is_err());
+    }
+
+    #[test]
+    fn poisoned_job_reports_failure_and_errors() {
+        let err = run(&argv(
+            "--policy saio --points 10,20 --seeds 1..3 --params tiny --conn 2 --poison 1:2",
+        ))
+        .unwrap_err();
+        let text = err.to_string();
+        // The healthy cells still render…
+        assert!(
+            text.contains("traces built"),
+            "partial results kept: {text}"
+        );
+        // …and the failed job is named precisely.
+        assert!(text.contains("1 job(s) failed"), "missing summary: {text}");
+        assert!(
+            text.contains("failed: cell 1 (saio:20%) seed 2"),
+            "missing failure line: {text}"
+        );
+    }
+
+    #[test]
+    fn bad_poison_flag_errors() {
+        assert!(run(&argv("--policy saio --points 10 --seeds 1 --poison nope")).is_err());
+        assert!(run(&argv("--policy saio --points 10 --seeds 1 --poison 1")).is_err());
     }
 }

@@ -1,19 +1,24 @@
-//! Multi-seed experiment running and aggregation.
+//! Multi-seed experiment aggregation.
 //!
 //! The paper's accuracy figures plot, for each requested setting, the mean
 //! over 10 runs differing only in the random seed, with error bars at the
 //! min and max of the per-run means (§4.1). This module reproduces that
-//! protocol: generate one OO7 trace per seed, simulate each under a fresh
-//! policy instance, and aggregate.
-
-use std::thread;
+//! protocol's aggregation side: an [`ExperimentOutcome`] keeps one result
+//! per seed — a successful [`RunResult`] or the [`JobError`] that replaced
+//! it — and the scalar extractors aggregate over the successes only, so a
+//! failed seed shrinks the run count instead of poisoning the statistics
+//! (reports already render the empty case as "-").
+//!
+//! Experiment *execution* lives in [`crate::runner`]: build an
+//! [`crate::ExperimentPlan`] of [`odbgc_core::PolicySpec`] cells and call
+//! `run()`.
 
 use odbgc_core::RatePolicy;
-use odbgc_oo7::{Oo7App, Oo7Params};
 use odbgc_trace::Trace;
 
 use crate::config::SimConfig;
-use crate::simulator::{RunResult, Simulator};
+use crate::runner::JobError;
+use crate::simulator::{RunResult, SimError, Simulator};
 
 /// One aggregated sweep point: requested setting `x`, achieved
 /// min/mean/max across seeds.
@@ -34,8 +39,9 @@ pub struct SweepPoint {
 /// Aggregates per-run scalar values into a sweep point.
 ///
 /// Total on its input: an empty slice (every run left the scalar
-/// undefined, e.g. no collections fired in the measured window) yields
-/// `runs: 0` with NaN statistics, which reports render as "-".
+/// undefined — no collections fired in the measured window, or every
+/// seed's job failed) yields `runs: 0` with NaN statistics, which reports
+/// render as "-".
 pub fn sweep_point(x: f64, values: &[f64]) -> SweepPoint {
     if values.is_empty() {
         return SweepPoint {
@@ -61,14 +67,26 @@ pub fn sweep_point(x: f64, values: &[f64]) -> SweepPoint {
 /// The runs of one experiment configuration across seeds.
 #[derive(Debug)]
 pub struct ExperimentOutcome {
-    /// One result per seed, in seed order.
-    pub runs: Vec<RunResult>,
+    /// One result per seed, in seed order; a failed job keeps its
+    /// structured error in place of the result.
+    pub runs: Vec<Result<RunResult, JobError>>,
 }
 
 impl ExperimentOutcome {
-    /// Extracts one scalar per run, skipping runs where it is undefined.
+    /// The successful runs, in seed order.
+    pub fn successes(&self) -> impl Iterator<Item = &RunResult> {
+        self.runs.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// The failed jobs, in seed order.
+    pub fn failures(&self) -> impl Iterator<Item = &JobError> {
+        self.runs.iter().filter_map(|r| r.as_ref().err())
+    }
+
+    /// Extracts one scalar per successful run, skipping failed jobs and
+    /// runs where the scalar is undefined.
     pub fn scalar(&self, f: impl Fn(&RunResult) -> Option<f64>) -> Vec<f64> {
-        self.runs.iter().filter_map(f).collect()
+        self.successes().filter_map(f).collect()
     }
 
     /// Achieved GC-I/O percentages (measured window).
@@ -82,58 +100,24 @@ impl ExperimentOutcome {
     }
 }
 
-/// Generates one OO7 trace per seed and runs each under a fresh policy
-/// from `make_policy`, in parallel.
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `ExperimentPlan` of `PolicySpec` cells and call \
-            `run()` — see `crate::runner`; this closure-based shim will \
-            be removed after one release"
-)]
-pub fn run_oo7_experiment<F>(
-    params: Oo7Params,
-    seeds: &[u64],
-    config: &SimConfig,
-    make_policy: F,
-) -> ExperimentOutcome
-where
-    F: Fn() -> Box<dyn RatePolicy> + Sync,
-{
-    let runs: Vec<RunResult> = thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                let config = config.clone();
-                let make_policy = &make_policy;
-                scope.spawn(move || {
-                    let (trace, _chars) = Oo7App::standard(params, seed).generate();
-                    let sim = Simulator::new(config);
-                    let mut policy = make_policy();
-                    sim.run(&trace, policy.as_mut())
-                        .expect("OO7 trace must replay cleanly")
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run panicked"))
-            .collect()
-    });
-    ExperimentOutcome { runs }
-}
-
 /// Runs a single seed on a pre-generated trace (for time-series figures).
-pub fn run_single(trace: &Trace, config: &SimConfig, policy: &mut dyn RatePolicy) -> RunResult {
-    Simulator::new(config.clone())
-        .run(trace, policy)
-        .expect("trace must replay cleanly")
+///
+/// Returns the simulator's error instead of panicking, so callers decide
+/// whether a malformed trace is fatal.
+pub fn run_single(
+    trace: &Trace,
+    config: &SimConfig,
+    policy: &mut dyn RatePolicy,
+) -> Result<RunResult, SimError> {
+    Simulator::new(config.clone()).run(trace, policy)
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use odbgc_core::SaioPolicy;
+    use crate::runner::{ExperimentPlan, JobErrorKind};
+    use odbgc_core::{PolicySpec, SaioPolicy};
+    use odbgc_oo7::{Oo7App, Oo7Params};
 
     #[test]
     fn sweep_point_statistics() {
@@ -153,30 +137,68 @@ mod tests {
     }
 
     #[test]
-    fn multi_seed_experiment_produces_one_run_per_seed() {
-        let outcome = run_oo7_experiment(Oo7Params::tiny(), &[1, 2, 3], &SimConfig::tiny(), || {
-            Box::new(SaioPolicy::with_frac(0.10))
-        });
-        assert_eq!(outcome.runs.len(), 3);
+    fn multi_seed_plan_produces_one_run_per_seed() {
+        let outcome = ExperimentPlan::new(Oo7Params::tiny(), &[1, 2, 3], SimConfig::tiny())
+            .cell(10.0, PolicySpec::saio(0.10))
+            .run();
+        let cell = &outcome.cells[0].outcome;
+        assert_eq!(cell.runs.len(), 3);
         // Different seeds → different traces → (almost surely) different
         // I/O totals; at minimum the runs all completed with collections.
-        for r in &outcome.runs {
+        for r in cell.successes() {
             assert!(r.collection_count() > 0);
         }
+        assert_eq!(cell.successes().count(), 3);
     }
 
     #[test]
     fn experiment_is_reproducible() {
         let run = || {
-            run_oo7_experiment(Oo7Params::tiny(), &[5, 6], &SimConfig::tiny(), || {
-                Box::new(SaioPolicy::with_frac(0.05))
-            })
+            ExperimentPlan::new(Oo7Params::tiny(), &[5, 6], SimConfig::tiny())
+                .cell(5.0, PolicySpec::saio(0.05))
+                .run()
         };
         let a = run();
         let b = run();
-        for (x, y) in a.runs.iter().zip(&b.runs) {
+        for (x, y) in a.cells[0]
+            .outcome
+            .successes()
+            .zip(b.cells[0].outcome.successes())
+        {
             assert_eq!(x.gc_io_total, y.gc_io_total);
             assert_eq!(x.garbage_pct_mean, y.garbage_pct_mean);
         }
+    }
+
+    #[test]
+    fn scalars_skip_failed_runs() {
+        let sim_fail = || JobError {
+            cell_index: 0,
+            spec: PolicySpec::saio(0.10),
+            seed: 2,
+            kind: JobErrorKind::Panicked("boom".into()),
+        };
+        let (trace, _) = Oo7App::standard(Oo7Params::tiny(), 1).generate();
+        let mut policy = SaioPolicy::with_frac(0.10);
+        let good = run_single(&trace, &SimConfig::tiny(), &mut policy).expect("replays");
+        let outcome = ExperimentOutcome {
+            runs: vec![Ok(good), Err(sim_fail())],
+        };
+        assert_eq!(outcome.successes().count(), 1);
+        assert_eq!(outcome.failures().count(), 1);
+        let pcts = outcome.gc_io_pcts();
+        assert_eq!(pcts.len(), 1, "failed run must not contribute a value");
+        let p = sweep_point(10.0, &pcts);
+        assert_eq!(p.runs, 1);
+    }
+
+    #[test]
+    fn run_single_surfaces_sim_errors() {
+        let mut b = odbgc_trace::TraceBuilder::new();
+        b.access(odbgc_trace::ObjectId::new(42));
+        let trace = b.finish();
+        let mut policy = SaioPolicy::with_frac(0.10);
+        let e = run_single(&trace, &SimConfig::tiny(), &mut policy).unwrap_err();
+        assert_eq!(e.event_index, 0);
     }
 }

@@ -25,12 +25,11 @@ pub mod series;
 pub mod simulator;
 
 pub use config::SimConfig;
-#[allow(deprecated)]
-pub use experiment::run_oo7_experiment;
 pub use experiment::{run_single, sweep_point, ExperimentOutcome, SweepPoint};
 pub use metrics::RunMetrics;
 pub use runner::{
-    default_jobs, CacheStats, CellOutcome, ExperimentPlan, PlanCell, PlanOutcome, TraceCache,
+    default_jobs, CacheStats, CellOutcome, ExperimentPlan, FailurePolicy, FaultKind, FaultSpec,
+    JobError, JobErrorKind, PlanCell, PlanOutcome, TraceCache,
 };
 pub use series::CollectionRecord;
 pub use simulator::{RunResult, SimError, Simulator};

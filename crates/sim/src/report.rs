@@ -36,23 +36,41 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Renders rows as CSV (no quoting — numeric experiment data only).
+/// Quotes one CSV cell per RFC 4180 when it needs it: cells containing
+/// commas, quotes, or newlines are wrapped in double quotes with inner
+/// quotes doubled. Policy labels like `saio(5.0%, c_hist=0)` contain
+/// commas, so unquoted emission would silently misalign rows.
+fn csv_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+/// Renders rows as RFC 4180 CSV, quoting cells that contain commas,
+/// quotes, or newlines.
 pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut out = headers.join(",");
+    let render_row = |cells: &mut dyn Iterator<Item = &str>| -> String {
+        cells.map(csv_cell).collect::<Vec<_>>().join(",")
+    };
+    let mut out = render_row(&mut headers.iter().copied());
     out.push('\n');
     for row in rows {
-        out.push_str(&row.join(","));
+        out.push_str(&render_row(&mut row.iter().map(String::as_str)));
         out.push('\n');
     }
     out
 }
 
-/// Formats a float with fixed precision, rendering NaN as "-".
+/// Formats a float with fixed precision, rendering NaN and ±∞ as "-"
+/// (an undefined or degenerate statistic, e.g. the min/max of an empty
+/// run set).
 pub fn fmt_f(v: f64, prec: usize) -> String {
-    if v.is_nan() {
-        "-".to_owned()
-    } else {
+    if v.is_finite() {
         format!("{v:.prec$}")
+    } else {
+        "-".to_owned()
     }
 }
 
@@ -99,8 +117,28 @@ mod tests {
     }
 
     #[test]
-    fn fmt_f_handles_nan() {
+    fn csv_quotes_cells_with_commas_and_quotes() {
+        let c = render_csv(
+            &["label", "x"],
+            &[
+                vec!["saio(5.0%, c_hist=0)".into(), "1".into()],
+                vec!["say \"hi\"".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[0], "label,x");
+        assert_eq!(lines[1], "\"saio(5.0%, c_hist=0)\",1");
+        assert_eq!(lines[2], "\"say \"\"hi\"\"\",2");
+        // Every data row still has exactly two (quoted-aware) fields:
+        // naive comma counting would see three in row 1.
+        assert_eq!(lines[1].matches(',').count(), 2);
+    }
+
+    #[test]
+    fn fmt_f_handles_nan_and_infinities() {
         assert_eq!(fmt_f(f64::NAN, 2), "-");
+        assert_eq!(fmt_f(f64::INFINITY, 2), "-");
+        assert_eq!(fmt_f(f64::NEG_INFINITY, 2), "-");
         assert_eq!(fmt_f(1.2345, 2), "1.23");
     }
 

@@ -17,11 +17,20 @@
 //!   property.
 //! * **Deterministic reduction.** Results land in pre-assigned slots and
 //!   are reduced in (cell, seed) order, so the outcome is identical for
-//!   any thread count — `--jobs 1` and `--jobs 8` agree byte for byte.
+//!   any thread count — `--jobs 1` and `--jobs 8` agree byte for byte,
+//!   including the failure list.
+//! * **Fault tolerance.** Plan execution is *total* over job failures: a
+//!   [`SimError`] or a panic inside one (cell, seed) job becomes a
+//!   structured [`JobError`] in that job's slot instead of unwinding the
+//!   pool, so every other cell's results survive. A [`FailurePolicy`]
+//!   knob selects between running the whole grid regardless
+//!   ([`FailurePolicy::Continue`], the default) and stopping dispatch
+//!   after the first failure ([`FailurePolicy::FailFast`]).
 //! * **Timing.** Each job's wall time is recorded alongside its result
 //!   and surfaced per cell and per plan for reports.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -32,7 +41,7 @@ use odbgc_trace::Trace;
 
 use crate::config::SimConfig;
 use crate::experiment::ExperimentOutcome;
-use crate::simulator::{RunResult, Simulator};
+use crate::simulator::{RunResult, SimError, Simulator};
 
 /// One cell of an experiment grid: a requested setting and the policy
 /// that should achieve it.
@@ -43,6 +52,98 @@ pub struct PlanCell {
     /// The policy to run in this cell.
     pub spec: PolicySpec,
 }
+
+/// What to do with the rest of the grid once one job has failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Run every job regardless of failures (the default): the outcome
+    /// carries all successful results plus one [`JobError`] per failed
+    /// job, and is byte-identical for any worker count.
+    #[default]
+    Continue,
+    /// Stop dispatching new jobs after the first failure, but let jobs
+    /// already in flight finish. Jobs never dispatched are reported as
+    /// [`JobErrorKind::Skipped`]. Which jobs were in flight depends on
+    /// the worker count and scheduling, so — unlike `Continue` — the
+    /// outcome is not identical across worker counts.
+    FailFast,
+}
+
+/// How an injected fault sabotages its job (the failure-path test rig).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Replace the job's trace with one that cannot replay, producing a
+    /// deterministic [`JobErrorKind::Sim`] failure.
+    PoisonTrace,
+    /// Panic inside the job, producing a [`JobErrorKind::Panicked`]
+    /// failure with a deterministic payload.
+    Panic,
+}
+
+/// A deliberate fault wired into one (cell, seed) job.
+///
+/// This is the injection side of the failure machinery: production plans
+/// carry no faults, and tests (or `odbgc sweep --poison`) use it to
+/// exercise degrade-and-report behavior on real execution paths — the
+/// poisoned trace really is replayed by the [`Simulator`], and the panic
+/// really unwinds through the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Index into [`ExperimentPlan::cells`] of the job to sabotage.
+    pub cell_index: usize,
+    /// Seed of the job to sabotage.
+    pub seed: u64,
+    /// The failure mode to inject.
+    pub kind: FaultKind,
+}
+
+/// Why one (cell, seed) job produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobErrorKind {
+    /// The simulator rejected the trace.
+    Sim(SimError),
+    /// The job panicked; the payload is stringified.
+    Panicked(String),
+    /// [`FailurePolicy::FailFast`] stopped dispatch before this job
+    /// started.
+    Skipped,
+}
+
+impl std::fmt::Display for JobErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobErrorKind::Sim(e) => write!(f, "{e}"),
+            JobErrorKind::Panicked(msg) => write!(f, "panicked: {msg}"),
+            JobErrorKind::Skipped => write!(f, "skipped (fail-fast)"),
+        }
+    }
+}
+
+/// One failed (cell, seed) job, identifying exactly which grid point was
+/// lost and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobError {
+    /// Index into [`ExperimentPlan::cells`] of the failed job.
+    pub cell_index: usize,
+    /// The failed cell's policy spec (its report label).
+    pub spec: PolicySpec,
+    /// The failed job's seed.
+    pub seed: u64,
+    /// What went wrong.
+    pub kind: JobErrorKind,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell {} ({}) seed {}: {}",
+            self.cell_index, self.spec, self.seed, self.kind
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// A complete experiment as data: workload parameters, seeds, simulator
 /// configuration, and the grid cells to run.
@@ -56,6 +157,11 @@ pub struct ExperimentPlan {
     pub config: SimConfig,
     /// The grid cells, in report order.
     pub cells: Vec<PlanCell>,
+    /// What to do with the rest of the grid after a job fails.
+    pub failure_policy: FailurePolicy,
+    /// Deliberate faults for testing the failure machinery (empty in
+    /// production plans).
+    pub faults: Vec<FaultSpec>,
 }
 
 impl ExperimentPlan {
@@ -66,6 +172,8 @@ impl ExperimentPlan {
             seeds: seeds.to_vec(),
             config,
             cells: Vec::new(),
+            failure_policy: FailurePolicy::default(),
+            faults: Vec::new(),
         }
     }
 
@@ -79,6 +187,18 @@ impl ExperimentPlan {
     pub fn cells(mut self, cells: impl IntoIterator<Item = (f64, PolicySpec)>) -> Self {
         self.cells
             .extend(cells.into_iter().map(|(x, spec)| PlanCell { x, spec }));
+        self
+    }
+
+    /// Sets the failure policy (default: [`FailurePolicy::Continue`]).
+    pub fn on_failure(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
+
+    /// Wires a deliberate fault into one (cell, seed) job.
+    pub fn inject_fault(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
         self
     }
 
@@ -164,15 +284,17 @@ pub struct CellOutcome {
     pub x: f64,
     /// The policy spec, copied from the cell.
     pub spec: PolicySpec,
-    /// One result per seed, in seed order.
+    /// One result per seed, in seed order; failed jobs keep their
+    /// [`JobError`] in place so the seed alignment survives.
     pub outcome: ExperimentOutcome,
-    /// Per-seed job wall time, in seed order.
+    /// Wall time of each *successful* job, in seed order (failed jobs
+    /// record no duration).
     pub wall_times: Vec<Duration>,
 }
 
 impl CellOutcome {
-    /// Total wall time spent on this cell's jobs (sum over seeds; under
-    /// parallel execution this exceeds elapsed time).
+    /// Total wall time spent on this cell's successful jobs (sum over
+    /// seeds; under parallel execution this exceeds elapsed time).
     pub fn cpu_time(&self) -> Duration {
         self.wall_times.iter().sum()
     }
@@ -183,6 +305,9 @@ impl CellOutcome {
 pub struct PlanOutcome {
     /// One outcome per plan cell, in plan order.
     pub cells: Vec<CellOutcome>,
+    /// Every failed job, in deterministic (cell, seed) order. Empty when
+    /// the whole grid ran clean.
+    pub failures: Vec<JobError>,
     /// Trace-cache statistics for the execution.
     pub cache: CacheStats,
     /// Worker threads actually used.
@@ -196,22 +321,57 @@ impl PlanOutcome {
     pub fn cpu_time(&self) -> Duration {
         self.cells.iter().map(CellOutcome::cpu_time).sum()
     }
+
+    /// Did every job produce a result?
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Parses an `ODBGC_JOBS`-style value; `None` means "not a usable worker
+/// count" (empty, non-numeric, or zero).
+fn parse_jobs(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
 /// The worker count used when none is given explicitly: the `ODBGC_JOBS`
 /// environment variable if set and positive, otherwise
-/// [`std::thread::available_parallelism`].
+/// [`std::thread::available_parallelism`]. An `ODBGC_JOBS` value that is
+/// not a positive integer is ignored with a one-line stderr warning
+/// rather than silently.
 pub fn default_jobs() -> usize {
     if let Ok(v) = std::env::var("ODBGC_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+        match parse_jobs(&v) {
+            Some(n) => return n,
+            None => eprintln!(
+                "odbgc: ignoring invalid ODBGC_JOBS={v:?} (want a positive \
+                 integer); falling back to available parallelism"
+            ),
         }
     }
     thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// The malformed trace used by [`FaultKind::PoisonTrace`]: its first
+/// event touches an object that was never created, so the store rejects
+/// it at event 0.
+fn poison_trace() -> Trace {
+    let mut b = odbgc_trace::TraceBuilder::new();
+    b.access(odbgc_trace::ObjectId::new(u32::MAX as u64));
+    b.finish()
+}
+
+/// Renders a panic payload for [`JobErrorKind::Panicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
 }
 
 fn run_plan(plan: &ExperimentPlan, jobs: Option<usize>) -> PlanOutcome {
@@ -222,53 +382,103 @@ fn run_plan(plan: &ExperimentPlan, jobs: Option<usize>) -> PlanOutcome {
         .unwrap_or_else(default_jobs)
         .max(1)
         .min(n_jobs_total.max(1));
+    let fail_fast = plan.failure_policy == FailurePolicy::FailFast;
 
     let cache = TraceCache::new(plan.params, &plan.seeds);
     // One pre-assigned slot per job: job i = cell (i / seeds) × seed
     // (i % seeds). Workers only ever write their own slot, and the
     // reduction below reads the slots in order — so the outcome does not
     // depend on scheduling.
-    let slots: Vec<OnceLock<(RunResult, Duration)>> =
+    let slots: Vec<OnceLock<Result<(RunResult, Duration), JobError>>> =
         (0..n_jobs_total).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+
+    // One job, total over its own failures: a trace that will not replay
+    // surfaces as `Sim`, a panic anywhere inside the policy, store,
+    // collector, or simulator is caught and surfaces as `Panicked`.
+    let run_job = |i: usize| -> Result<(RunResult, Duration), JobError> {
+        let cell_index = i / n_seeds;
+        let cell = &plan.cells[cell_index];
+        let seed = plan.seeds[i % n_seeds];
+        let fault = plan
+            .faults
+            .iter()
+            .find(|f| f.cell_index == cell_index && f.seed == seed);
+        let job_started = Instant::now();
+        let sim_result = catch_unwind(AssertUnwindSafe(|| {
+            if matches!(fault, Some(f) if f.kind == FaultKind::Panic) {
+                panic!("injected fault: cell {cell_index} seed {seed}");
+            }
+            let trace = match fault {
+                Some(f) if f.kind == FaultKind::PoisonTrace => Arc::new(poison_trace()),
+                _ => cache.get(seed),
+            };
+            let mut policy = cell.spec.build();
+            Simulator::new(plan.config.clone()).run(&trace, policy.as_mut())
+        }));
+        let kind = match sim_result {
+            Ok(Ok(result)) => return Ok((result, job_started.elapsed())),
+            Ok(Err(e)) => JobErrorKind::Sim(e),
+            Err(payload) => JobErrorKind::Panicked(panic_message(payload)),
+        };
+        Err(JobError {
+            cell_index,
+            spec: cell.spec.clone(),
+            seed,
+            kind,
+        })
+    };
 
     thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if fail_fast && stop.load(Ordering::Acquire) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n_jobs_total {
                     break;
                 }
-                let cell = &plan.cells[i / n_seeds];
-                let seed = plan.seeds[i % n_seeds];
-                let job_started = Instant::now();
-                let trace = cache.get(seed);
-                let mut policy = cell.spec.build();
-                let result = Simulator::new(plan.config.clone())
-                    .run(&trace, policy.as_mut())
-                    .expect("OO7 trace must replay cleanly");
-                assert!(
-                    slots[i].set((result, job_started.elapsed())).is_ok(),
-                    "job slot written twice"
-                );
+                let outcome = run_job(i);
+                if outcome.is_err() && fail_fast {
+                    stop.store(true, Ordering::Release);
+                }
+                assert!(slots[i].set(outcome).is_ok(), "job slot written twice");
             });
         }
     });
 
     let mut slots = slots;
+    let mut failures: Vec<JobError> = Vec::new();
     let cells = plan
         .cells
         .iter()
         .enumerate()
         .map(|(c, cell)| {
             let mut runs = Vec::with_capacity(n_seeds);
-            let mut wall_times = Vec::with_capacity(n_seeds);
+            let mut wall_times = Vec::new();
             for s in 0..n_seeds {
-                let (result, wall) = slots[c * n_seeds + s]
-                    .take()
-                    .expect("every job ran to completion");
-                runs.push(result);
-                wall_times.push(wall);
+                // An empty slot means fail-fast stopped dispatch before
+                // this job was ever claimed.
+                let outcome = slots[c * n_seeds + s].take().unwrap_or_else(|| {
+                    Err(JobError {
+                        cell_index: c,
+                        spec: cell.spec.clone(),
+                        seed: plan.seeds[s],
+                        kind: JobErrorKind::Skipped,
+                    })
+                });
+                match outcome {
+                    Ok((result, wall)) => {
+                        runs.push(Ok(result));
+                        wall_times.push(wall);
+                    }
+                    Err(e) => {
+                        failures.push(e.clone());
+                        runs.push(Err(e));
+                    }
+                }
             }
             CellOutcome {
                 x: cell.x,
@@ -281,6 +491,7 @@ fn run_plan(plan: &ExperimentPlan, jobs: Option<usize>) -> PlanOutcome {
 
     PlanOutcome {
         cells,
+        failures,
         cache: cache.stats(),
         jobs: workers,
         elapsed: started.elapsed(),
@@ -306,8 +517,10 @@ mod tests {
     fn plan_runs_every_cell_for_every_seed() {
         let out = tiny_plan().run_with_jobs(Some(2));
         assert_eq!(out.cells.len(), 2);
+        assert!(out.is_complete());
         for cell in &out.cells {
             assert_eq!(cell.outcome.runs.len(), 3);
+            assert!(cell.outcome.runs.iter().all(Result::is_ok));
             assert_eq!(cell.wall_times.len(), 3);
             assert!(cell.wall_times.iter().all(|w| *w > Duration::ZERO));
         }
@@ -380,5 +593,139 @@ mod tests {
     #[should_panic(expected = "not in plan")]
     fn cache_rejects_unplanned_seeds() {
         TraceCache::new(Oo7Params::tiny(), &[1]).get(2);
+    }
+
+    #[test]
+    fn poisoned_trace_becomes_a_structured_sim_error() {
+        let out = tiny_plan()
+            .inject_fault(FaultSpec {
+                cell_index: 1,
+                seed: 2,
+                kind: FaultKind::PoisonTrace,
+            })
+            .run_with_jobs(Some(4));
+        assert_eq!(out.failures.len(), 1);
+        let f = &out.failures[0];
+        assert_eq!(f.cell_index, 1);
+        assert_eq!(f.seed, 2);
+        assert!(matches!(&f.kind, JobErrorKind::Sim(e) if e.event_index == 0));
+        // Every other job still produced a result.
+        let ok: usize = out
+            .cells
+            .iter()
+            .map(|c| c.outcome.successes().count())
+            .sum();
+        assert_eq!(ok, 5);
+        // The failed seed keeps its slot in the cell's run list.
+        assert!(out.cells[1].outcome.runs[1].is_err());
+        assert_eq!(out.cells[1].wall_times.len(), 2);
+    }
+
+    #[test]
+    fn panicking_job_is_reported_not_fatal() {
+        let out = tiny_plan()
+            .inject_fault(FaultSpec {
+                cell_index: 0,
+                seed: 3,
+                kind: FaultKind::Panic,
+            })
+            .run_with_jobs(Some(2));
+        assert_eq!(out.failures.len(), 1);
+        let f = &out.failures[0];
+        assert_eq!((f.cell_index, f.seed), (0, 3));
+        assert!(
+            matches!(&f.kind, JobErrorKind::Panicked(msg) if msg.contains("injected fault")),
+            "unexpected kind: {:?}",
+            f.kind
+        );
+        assert!(f.to_string().contains("panicked"));
+    }
+
+    #[test]
+    fn fail_fast_stops_dispatch_after_first_failure() {
+        // Serial execution makes fail-fast deterministic: the poisoned
+        // job is the very first (cell 0, seed 1), so every later job must
+        // be skipped, not run.
+        let out = tiny_plan()
+            .on_failure(FailurePolicy::FailFast)
+            .inject_fault(FaultSpec {
+                cell_index: 0,
+                seed: 1,
+                kind: FaultKind::PoisonTrace,
+            })
+            .run_with_jobs(Some(1));
+        assert_eq!(out.failures.len(), 6, "1 failure + 5 skipped");
+        assert!(matches!(out.failures[0].kind, JobErrorKind::Sim(_)));
+        assert!(out.failures[1..]
+            .iter()
+            .all(|f| f.kind == JobErrorKind::Skipped));
+        let ok: usize = out
+            .cells
+            .iter()
+            .map(|c| c.outcome.successes().count())
+            .sum();
+        assert_eq!(ok, 0);
+    }
+
+    #[test]
+    fn continue_policy_runs_everything_despite_failures() {
+        let out = tiny_plan()
+            .inject_fault(FaultSpec {
+                cell_index: 0,
+                seed: 1,
+                kind: FaultKind::PoisonTrace,
+            })
+            .run_with_jobs(Some(1));
+        assert_eq!(out.failures.len(), 1);
+        let ok: usize = out
+            .cells
+            .iter()
+            .map(|c| c.outcome.successes().count())
+            .sum();
+        assert_eq!(ok, 5, "all non-poisoned jobs must still run");
+    }
+
+    #[test]
+    fn job_error_display_names_cell_spec_and_seed() {
+        let e = JobError {
+            cell_index: 1,
+            spec: PolicySpec::saio(0.10),
+            seed: 7,
+            kind: JobErrorKind::Sim(SimError {
+                event_index: 0,
+                cause: odbgc_store::StoreError::UnknownObject(odbgc_trace::ObjectId::new(9)),
+            }),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cell 1"), "{s}");
+        assert!(s.contains("saio:10%"), "{s}");
+        assert!(s.contains("seed 7"), "{s}");
+        assert!(s.contains("event 0"), "{s}");
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs("4"), Some(4));
+        assert_eq!(parse_jobs(" 2 "), Some(2));
+        assert_eq!(parse_jobs("0"), None);
+        assert_eq!(parse_jobs("-1"), None);
+        assert_eq!(parse_jobs("abc"), None);
+        assert_eq!(parse_jobs(""), None);
+    }
+
+    #[test]
+    fn default_jobs_warns_and_falls_back_on_bad_env() {
+        // This is the only test in this binary that mutates ODBGC_JOBS;
+        // restore whatever was set (CI pins it) before returning.
+        let saved = std::env::var("ODBGC_JOBS").ok();
+        std::env::set_var("ODBGC_JOBS", "not-a-number");
+        let fallback = default_jobs();
+        assert!(fallback >= 1, "must fall back to available parallelism");
+        std::env::set_var("ODBGC_JOBS", "3");
+        assert_eq!(default_jobs(), 3);
+        match saved {
+            Some(v) => std::env::set_var("ODBGC_JOBS", v),
+            None => std::env::remove_var("ODBGC_JOBS"),
+        }
     }
 }

@@ -10,7 +10,7 @@ use crate::metrics::RunMetrics;
 use crate::series::CollectionRecord;
 
 /// A simulation failure: the trace could not be replayed.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimError {
     /// Index of the offending event.
     pub event_index: usize,
@@ -178,13 +178,28 @@ impl Simulator {
                 store.alloc_clock() - alloc_base,
             );
             if trigger.is_due(elapsed) {
-                if self.config.exact_oracle_recompute {
-                    store.recompute_garbage_exact();
-                }
                 let app_io_since_prev = store.io().app_total() - app_io_base;
-                let Some(outcome) = collector.collect_once(&mut store) else {
-                    // No partitions yet (trace starts with phase markers
-                    // only); re-arm and continue.
+                // The exact-oracle reconciliation is O(heap), so it runs
+                // only when a collection can actually happen — never once
+                // per event while a due trigger waits for the first
+                // partition to exist.
+                let outcome = if store.partition_count() == 0 {
+                    None
+                } else {
+                    if self.config.exact_oracle_recompute {
+                        store.recompute_garbage_exact();
+                    }
+                    collector.collect_once(&mut store)
+                };
+                let Some(outcome) = outcome else {
+                    // Nothing to collect yet (e.g. the trace front-loads
+                    // phase markers). Re-arm a fresh trigger and reset the
+                    // interval baselines so the stale trigger does not
+                    // stay due on every subsequent event.
+                    trigger = policy.initial_trigger();
+                    app_io_base = store.io().app_total();
+                    clock_base = store.overwrite_clock();
+                    alloc_base = store.alloc_clock();
                     continue;
                 };
                 cached_partitions = store.partition_count();
@@ -349,6 +364,65 @@ mod tests {
         let e = sim.run(&trace, &mut policy).unwrap_err();
         assert_eq!(e.event_index, 0);
         assert!(e.to_string().contains("event 0"));
+    }
+
+    /// A policy whose hand-built zero trigger is due before any activity
+    /// at all — the only way a trigger can be due while the store still
+    /// has no partitions. Counts its cold-start re-arms.
+    struct EagerPolicy {
+        initial_calls: u64,
+    }
+
+    impl RatePolicy for EagerPolicy {
+        fn initial_trigger(&mut self) -> Trigger {
+            self.initial_calls += 1;
+            Trigger {
+                overwrites: Some(0),
+                app_io: None,
+                alloc_bytes: None,
+            }
+        }
+
+        fn after_collection(&mut self, _: &CollectionObservation) -> Trigger {
+            Trigger::after_overwrites(1)
+        }
+
+        fn name(&self) -> String {
+            "eager-test".into()
+        }
+    }
+
+    #[test]
+    fn due_trigger_with_no_partitions_re_arms_instead_of_spinning() {
+        // Regression: a trace that front-loads phase markers leaves the
+        // trigger due while no partition exists. The old code never
+        // re-armed on that path, so the same due trigger re-fired — and
+        // with `exact_oracle_recompute` (the default) ran the O(heap)
+        // exact recompute — on every subsequent event. The fix re-arms
+        // via `initial_trigger()` and resets the interval baselines, so
+        // the policy sees exactly one cold-start call per no-op firing.
+        let mut b = odbgc_trace::TraceBuilder::new();
+        for i in 0..5 {
+            b.phase(&format!("Marker{i}"));
+        }
+        let root = b.create_unlinked(40, 1);
+        b.root_add(root);
+        let victim = b.create_unlinked(40, 0);
+        b.slot_write(root, odbgc_trace::SlotIdx::new(0), Some(victim));
+        b.slot_clear(root, odbgc_trace::SlotIdx::new(0));
+        let trace = b.finish();
+
+        let mut policy = EagerPolicy { initial_calls: 0 };
+        let r = Simulator::new(SimConfig::tiny())
+            .run(&trace, &mut policy)
+            .expect("replays");
+        assert_eq!(
+            policy.initial_calls,
+            1 + 5,
+            "one cold start + one re-arm per front-loaded phase marker"
+        );
+        assert_eq!(r.events_replayed, trace.len() as u64);
+        assert!(r.collection_count() > 0, "real workload still collects");
     }
 
     #[test]

@@ -70,8 +70,9 @@ fn parallel_experiment_matches_sequential_runs() {
         let solo = Simulator::new(config.clone())
             .run(&trace, &mut p)
             .expect("replays");
-        assert_eq!(parallel.runs[i].collections, solo.collections);
-        assert_eq!(parallel.runs[i].gc_io_total, solo.gc_io_total);
+        let run = parallel.runs[i].as_ref().expect("job succeeded");
+        assert_eq!(run.collections, solo.collections);
+        assert_eq!(run.gc_io_total, solo.gc_io_total);
     }
 }
 

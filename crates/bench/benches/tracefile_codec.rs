@@ -1,0 +1,62 @@
+//! Tracefile codec micro-benchmarks: binary encode/decode throughput
+//! versus the text codec, and streaming replay straight off the binary
+//! encoding. These back the corpus design choice — loading a tracefile
+//! must beat regenerating the trace by a wide margin.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use odbgc_oo7::{Oo7App, Oo7Params};
+use odbgc_trace::codec;
+
+fn bench_tracefile(c: &mut Criterion) {
+    let (trace, _) = Oo7App::standard(Oo7Params::small(3), 1).generate();
+    let binary = odbgc_tracefile::encode(&trace);
+    let text = codec::encode(&trace);
+    let events = trace.len() as u64;
+
+    let mut group = c.benchmark_group("tracefile_encode");
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(20);
+    group.bench_function("binary", |b| {
+        b.iter(|| black_box(odbgc_tracefile::encode(&trace)))
+    });
+    group.bench_function("text", |b| b.iter(|| black_box(codec::encode(&trace))));
+    group.finish();
+
+    let mut group = c.benchmark_group("tracefile_decode");
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(20);
+    group.bench_function("binary", |b| {
+        b.iter(|| black_box(odbgc_tracefile::decode(&binary).expect("decode")))
+    });
+    group.bench_function("text", |b| {
+        b.iter(|| black_box(codec::decode(&text).expect("decode")))
+    });
+    // The corpus-tier comparison: decoding a tracefile vs regenerating
+    // the identical trace from OO7 parameters.
+    group.bench_function("regenerate", |b| {
+        b.iter(|| black_box(Oo7App::standard(Oo7Params::small(3), 1).generate().0))
+    });
+    group.finish();
+
+    // Streaming: iterate every event without materializing a Trace.
+    let mut group = c.benchmark_group("tracefile_stream");
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(20);
+    group.bench_function("read_events", |b| {
+        b.iter(|| {
+            let reader = odbgc_tracefile::TraceReader::new(binary.as_slice()).expect("header");
+            let mut n = 0u64;
+            for ev in reader {
+                black_box(ev.expect("event"));
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracefile);
+criterion_main!(benches);

@@ -4,14 +4,67 @@ pub mod generate;
 pub mod info;
 pub mod run;
 pub mod sweep;
+pub mod trace;
 
 use odbgc_trace::Trace;
 
 use crate::CliError;
 
-/// Loads a trace from disk (the `odbgc-trace` text format).
+/// On-disk trace encodings the CLI can read and write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// The line-oriented `odbgc-trace v1` text codec.
+    Text,
+    /// The `OTBF` binary tracefile format (`.otb`).
+    Binary,
+}
+
+impl TraceFormat {
+    /// Parses a `--format` value.
+    pub fn parse(s: &str) -> Result<TraceFormat, CliError> {
+        match s {
+            "text" => Ok(TraceFormat::Text),
+            "binary" => Ok(TraceFormat::Binary),
+            other => Err(CliError(format!(
+                "--format wants text or binary, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The format implied by a file name: `.otb` means binary, anything
+    /// else text.
+    pub fn infer(path: &str) -> TraceFormat {
+        if std::path::Path::new(path)
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("otb"))
+        {
+            TraceFormat::Binary
+        } else {
+            TraceFormat::Text
+        }
+    }
+}
+
+/// Loads a trace from disk, sniffing the format from the file's leading
+/// bytes (binary tracefiles start with the `OTBF` magic; everything else
+/// is parsed as the text codec). The extension is irrelevant on read.
 pub fn load_trace(path: &str) -> Result<Trace, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?;
+    let bytes = std::fs::read(path).map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?;
+    if odbgc_tracefile::is_binary(&bytes) {
+        return odbgc_tracefile::decode(&bytes).map_err(|e| CliError(format!("{path}: {e}")));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| CliError(format!("{path}: neither a binary tracefile nor UTF-8 text")))?;
     odbgc_trace::codec::decode(&text).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+/// Serializes a trace in the given format and writes it to `path`,
+/// returning the on-disk size in bytes.
+pub fn write_trace_file(path: &str, trace: &Trace, format: TraceFormat) -> Result<u64, CliError> {
+    let bytes = match format {
+        TraceFormat::Text => odbgc_trace::codec::encode(trace).into_bytes(),
+        TraceFormat::Binary => odbgc_tracefile::encode(trace),
+    };
+    std::fs::write(path, &bytes).map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+    Ok(bytes.len() as u64)
 }

@@ -1,0 +1,370 @@
+//! `odbgc trace` — tracefile utilities: convert, stat, verify, cat.
+//!
+//! All four subcommands stream binary tracefiles through
+//! [`odbgc_tracefile::TraceReader`] — none of them needs the whole trace
+//! in memory, so they work on corpora far larger than RAM.
+
+use std::io::{BufReader, BufWriter, Write as _};
+
+use odbgc_trace::{codec, Event};
+use odbgc_tracefile::{TraceReader, TraceWriter};
+
+use crate::commands::{load_trace, TraceFormat};
+use crate::flags::Flags;
+use crate::CliError;
+
+/// Dispatches `odbgc trace <subcommand>`.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(CliError(
+            "trace wants a subcommand: convert, stat, verify, or cat".into(),
+        ));
+    };
+    match sub.as_str() {
+        "convert" => convert(rest),
+        "stat" => stat(rest),
+        "verify" => verify(rest),
+        "cat" => cat(rest),
+        other => Err(CliError(format!(
+            "unknown trace subcommand {other:?}; try convert, stat, verify, or cat"
+        ))),
+    }
+}
+
+fn open_binary(path: &str) -> Result<TraceReader<BufReader<std::fs::File>>, CliError> {
+    let file =
+        std::fs::File::open(path).map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?;
+    TraceReader::new(BufReader::new(file)).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+/// `odbgc trace convert --in <file> --out <file> [--format binary|text]`.
+///
+/// The target format defaults to the output extension (`.otb` → binary).
+/// Binary→text streams event by event and produces output byte-identical
+/// to `codec::encode` of the same trace; text→binary round-trips through
+/// the in-memory trace.
+fn convert(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let input = flags.require("in")?;
+    let output = flags.require("out")?;
+    let format = match flags.get("format") {
+        Some(v) => TraceFormat::parse(&v)?,
+        None => TraceFormat::infer(&output),
+    };
+    flags.finish()?;
+
+    let header = std::fs::File::open(&input)
+        .and_then(|mut f| {
+            use std::io::Read as _;
+            let mut prefix = [0u8; 4];
+            let n = f.read(&mut prefix)?;
+            Ok(prefix[..n].to_vec())
+        })
+        .map_err(|e| CliError(format!("cannot read {input:?}: {e}")))?;
+
+    let events = if odbgc_tracefile::is_binary(&header) {
+        // Binary source: stream, never materializing the trace.
+        let reader = open_binary(&input)?;
+        match format {
+            TraceFormat::Text => {
+                let out_file = std::fs::File::create(&output)
+                    .map_err(|e| CliError(format!("cannot write {output:?}: {e}")))?;
+                let mut w = BufWriter::new(out_file);
+                w.write_all(codec::encode_header(reader.phase_names()).as_bytes())
+                    .map_err(|e| CliError(format!("cannot write {output:?}: {e}")))?;
+                let mut line = String::new();
+                let mut n = 0u64;
+                for ev in reader {
+                    let ev = ev.map_err(|e| CliError(format!("{input}: {e}")))?;
+                    line.clear();
+                    codec::encode_event(&mut line, &ev);
+                    w.write_all(line.as_bytes())
+                        .map_err(|e| CliError(format!("cannot write {output:?}: {e}")))?;
+                    n += 1;
+                }
+                w.flush()
+                    .map_err(|e| CliError(format!("cannot write {output:?}: {e}")))?;
+                n
+            }
+            TraceFormat::Binary => {
+                let out_file = std::fs::File::create(&output)
+                    .map_err(|e| CliError(format!("cannot write {output:?}: {e}")))?;
+                let mut w = TraceWriter::new(BufWriter::new(out_file), reader.phase_names())
+                    .map_err(|e| CliError(format!("cannot write {output:?}: {e}")))?;
+                for ev in reader {
+                    let ev = ev.map_err(|e| CliError(format!("{input}: {e}")))?;
+                    w.write_event(&ev)
+                        .map_err(|e| CliError(format!("cannot write {output:?}: {e}")))?;
+                }
+                let n = w.events_written();
+                w.finish()
+                    .and_then(|mut b| b.flush().map(|_| b))
+                    .map_err(|e| CliError(format!("cannot write {output:?}: {e}")))?;
+                n
+            }
+        }
+    } else {
+        let trace = load_trace(&input)?;
+        crate::commands::write_trace_file(&output, &trace, format)?;
+        trace.len() as u64
+    };
+
+    let size = std::fs::metadata(&output).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "converted {input} -> {output} ({}, {events} events, {size} bytes)",
+        match format {
+            TraceFormat::Text => "text",
+            TraceFormat::Binary => "binary",
+        },
+    ))
+}
+
+/// `odbgc trace stat --trace <file>` — event census and size figures.
+fn stat(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let path = flags.require("trace")?;
+    flags.finish()?;
+
+    let size = std::fs::metadata(&path)
+        .map(|m| m.len())
+        .map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?;
+    let is_bin = {
+        let mut prefix = [0u8; 4];
+        use std::io::Read as _;
+        std::fs::File::open(&path)
+            .and_then(|mut f| f.read(&mut prefix).map(|n| (n, prefix)))
+            .map(|(n, p)| odbgc_tracefile::is_binary(&p[..n]))
+            .map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?
+    };
+
+    let mut counts = [0u64; 6];
+    let mut phases: Vec<String>;
+    if is_bin {
+        let reader = open_binary(&path)?;
+        phases = reader.phase_names().to_vec();
+        let mut tally = |ev: &Event| {
+            counts[match ev {
+                Event::Create { .. } => 0,
+                Event::Access { .. } => 1,
+                Event::SlotWrite { .. } => 2,
+                Event::RootAdd { .. } => 3,
+                Event::RootRemove { .. } => 4,
+                Event::Phase { .. } => 5,
+            }] += 1;
+        };
+        for ev in reader {
+            tally(&ev.map_err(|e| CliError(format!("{path}: {e}")))?);
+        }
+    } else {
+        let trace = load_trace(&path)?;
+        phases = trace.phase_names().to_vec();
+        for ev in trace.iter() {
+            counts[match ev {
+                Event::Create { .. } => 0,
+                Event::Access { .. } => 1,
+                Event::SlotWrite { .. } => 2,
+                Event::RootAdd { .. } => 3,
+                Event::RootRemove { .. } => 4,
+                Event::Phase { .. } => 5,
+            }] += 1;
+        }
+    }
+    if phases.is_empty() {
+        phases = vec!["(none)".into()];
+    }
+
+    let total: u64 = counts.iter().sum();
+    Ok(format!(
+        "{path}: {} format, {size} bytes, {total} events ({:.2} bytes/event)\n\
+         creates {}, accesses {}, slot-writes {}, root-adds {}, root-removes {}, phase-marks {}\n\
+         phases: {}",
+        if is_bin { "binary" } else { "text" },
+        if total == 0 {
+            0.0
+        } else {
+            size as f64 / total as f64
+        },
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
+        counts[4],
+        counts[5],
+        phases.join(" "),
+    ))
+}
+
+/// `odbgc trace verify --trace <file>` — full streaming decode; any
+/// corruption (bad magic, checksum mismatch, truncation…) is a hard error
+/// with the tracefile's typed diagnosis.
+fn verify(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let path = flags.require("trace")?;
+    flags.finish()?;
+
+    let mut reader = open_binary(&path)?;
+    let mut n = 0u64;
+    for ev in &mut reader {
+        ev.map_err(|e| CliError(format!("{path}: INVALID: {e}")))?;
+        n += 1;
+    }
+    Ok(format!(
+        "{path}: OK ({n} events, {} blocks, {} phases)",
+        reader.blocks_read(),
+        reader.phase_names().len(),
+    ))
+}
+
+/// `odbgc trace cat --trace <file> [--limit N]` — print events in the
+/// text format (binary inputs are streamed; output matches `convert`).
+fn cat(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let path = flags.require("trace")?;
+    let limit: u64 = flags.get_or("limit", u64::MAX)?;
+    flags.finish()?;
+
+    let mut out = String::new();
+    let header = {
+        let mut prefix = [0u8; 4];
+        use std::io::Read as _;
+        std::fs::File::open(&path)
+            .and_then(|mut f| f.read(&mut prefix).map(|n| prefix[..n].to_vec()))
+            .map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?
+    };
+    if odbgc_tracefile::is_binary(&header) {
+        let reader = open_binary(&path)?;
+        out.push_str(&codec::encode_header(reader.phase_names()));
+        for (i, ev) in reader.enumerate() {
+            if (i as u64) >= limit {
+                out.push_str("…\n");
+                break;
+            }
+            let ev = ev.map_err(|e| CliError(format!("{path}: {e}")))?;
+            codec::encode_event(&mut out, &ev);
+        }
+    } else {
+        let trace = load_trace(&path)?;
+        out.push_str(&codec::encode_header(trace.phase_names()));
+        for (i, ev) in trace.iter().enumerate() {
+            if (i as u64) >= limit {
+                out.push_str("…\n");
+                break;
+            }
+            codec::encode_event(&mut out, ev);
+        }
+    }
+    // Trim the trailing newline: dispatch prints the result with its own.
+    if out.ends_with('\n') {
+        out.pop();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(name: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "odbgc-cli-test-trace-{name}-{}",
+                std::process::id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn generate(dir: &std::path::Path, name: &str) -> String {
+        let path = dir.join(name);
+        crate::commands::generate::run(&argv(&format!(
+            "--out {} --params tiny --conn 2 --seed 5",
+            path.display()
+        )))
+        .unwrap();
+        path.display().to_string()
+    }
+
+    #[test]
+    fn convert_round_trip_is_byte_identical() {
+        let tmp = TempDir::new("roundtrip");
+        let bin = generate(&tmp.0, "t.otb");
+        let txt = tmp.0.join("t.txt").display().to_string();
+        let bin2 = tmp.0.join("t2.otb").display().to_string();
+
+        run(&argv(&format!("convert --in {bin} --out {txt}"))).unwrap();
+        run(&argv(&format!("convert --in {txt} --out {bin2}"))).unwrap();
+        assert_eq!(
+            std::fs::read(&bin).unwrap(),
+            std::fs::read(&bin2).unwrap(),
+            "binary -> text -> binary must reproduce the file exactly"
+        );
+
+        // The streamed text equals the in-memory codec's output.
+        let trace = load_trace(&bin).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&txt).unwrap(),
+            codec::encode(&trace)
+        );
+    }
+
+    #[test]
+    fn verify_accepts_good_and_rejects_damaged() {
+        let tmp = TempDir::new("verify");
+        let bin = generate(&tmp.0, "t.otb");
+        let ok = run(&argv(&format!("verify --trace {bin}"))).unwrap();
+        assert!(ok.contains("OK"), "{ok}");
+
+        let mut bytes = std::fs::read(&bin).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let bad = tmp.0.join("bad.otb");
+        std::fs::write(&bad, &bytes).unwrap();
+        let err = run(&argv(&format!("verify --trace {}", bad.display()))).unwrap_err();
+        assert!(err.to_string().contains("INVALID"), "{err}");
+    }
+
+    #[test]
+    fn stat_counts_events() {
+        let tmp = TempDir::new("stat");
+        let bin = generate(&tmp.0, "t.otb");
+        let out = run(&argv(&format!("stat --trace {bin}"))).unwrap();
+        assert!(out.contains("binary format"), "{out}");
+        assert!(out.contains("creates"), "{out}");
+
+        // The text twin reports the same census.
+        let txt = tmp.0.join("t.txt").display().to_string();
+        run(&argv(&format!("convert --in {bin} --out {txt}"))).unwrap();
+        let out_txt = run(&argv(&format!("stat --trace {txt}"))).unwrap();
+        let census = |s: &str| s.lines().nth(1).unwrap().to_owned();
+        assert_eq!(census(&out), census(&out_txt));
+    }
+
+    #[test]
+    fn cat_limit_truncates() {
+        let tmp = TempDir::new("cat");
+        let bin = generate(&tmp.0, "t.otb");
+        let out = run(&argv(&format!("cat --trace {bin} --limit 3"))).unwrap();
+        assert!(out.ends_with('…'), "{out:?}");
+        // header + maybe phases line + 3 events + ellipsis.
+        assert!(out.lines().count() <= 6, "{out}");
+        assert!(out.starts_with("odbgc-trace v1"), "{out}");
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&argv("frobnicate")).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

@@ -64,6 +64,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "info" => commands::info::run(rest),
         "run" => commands::run::run(rest),
         "sweep" => commands::sweep::run(rest),
+        "trace" => commands::trace::run(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError(format!(
             "unknown command {other:?}; try `odbgc help`"
@@ -78,12 +79,20 @@ odbgc — self-adaptive GC-rate control simulator (SIGMOD'96 reproduction)
 
 USAGE:
   odbgc generate --out <file> [--conn N] [--seed N] [--params small-prime|small|tiny] [--style bidir|forward]
+                 [--format binary|text]   (default: by extension, .otb = binary)
   odbgc info     --trace <file>
   odbgc run      (--trace <file> | [--conn N] [--seed N]) --policy <spec>
                  [--selector updated-pointer|random|round-robin|most-garbage]
                  [--series <csv>] [--preamble N] [--store paper|tiny]
   odbgc sweep    --policy saio|saga[:estimator] --points a,b,c [--seeds A..B]
-                 [--conn N] [--csv <file>] [--jobs N]
+                 [--conn N] [--csv <file>] [--jobs N] [--corpus <dir>]
+  odbgc trace    convert --in <file> --out <file> [--format binary|text]
+  odbgc trace    stat|verify|cat --trace <file>   (cat: [--limit N])
+
+Binary tracefiles (.otb) are checksummed, block-compressed-by-encoding,
+and streamable; `--trace` accepts either format everywhere (sniffed by
+content). Sweeps reuse generated traces from the corpus directory given
+by --corpus or the ODBGC_CORPUS environment variable.
 
 POLICY SPECS:
   saio:10%[:hist=N|inf]   saga:5%[:oracle|fgs-hb[@h]|cgs-cb]

@@ -32,7 +32,9 @@ pub use runner::{
     JobError, JobErrorKind, PlanCell, PlanOutcome, TraceCache,
 };
 pub use series::CollectionRecord;
-pub use simulator::{RunResult, SimError, Simulator};
+pub use simulator::{ReplayError, RunResult, SimError, Simulator};
+
+pub use odbgc_tracefile::{CorpusKey, CorpusStats, TraceCorpus};
 
 pub use odbgc_core as core_policies;
 pub use odbgc_gc as gc;

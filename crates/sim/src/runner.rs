@@ -15,6 +15,14 @@
 //!   shared [`TraceCache`] and handed out as `Arc`s. [`CacheStats`]
 //!   counts hits and misses so tests can assert the exactly-once
 //!   property.
+//! * **Persistent corpus.** The in-memory cache dies with the process;
+//!   an optional second tier — an on-disk [`TraceCorpus`] of binary
+//!   tracefiles named by [`ExperimentPlan::corpus`] or the
+//!   `ODBGC_CORPUS` environment variable — survives it. Lookups then go
+//!   memory → corpus → generate, and a generated trace is installed in
+//!   the corpus (atomic temp-file + rename) so *other* processes and
+//!   later runs skip generation entirely. [`PlanOutcome::corpus`]
+//!   reports hit/miss/generated counts and load time.
 //! * **Deterministic reduction.** Results land in pre-assigned slots and
 //!   are reduced in (cell, seed) order, so the outcome is identical for
 //!   any thread count — `--jobs 1` and `--jobs 8` agree byte for byte,
@@ -30,6 +38,7 @@
 //!   and surfaced per cell and per plan for reports.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread;
@@ -38,6 +47,7 @@ use std::time::{Duration, Instant};
 use odbgc_core::PolicySpec;
 use odbgc_oo7::{Oo7App, Oo7Params};
 use odbgc_trace::Trace;
+use odbgc_tracefile::{CorpusKey, CorpusStats, TraceCorpus};
 
 use crate::config::SimConfig;
 use crate::experiment::ExperimentOutcome;
@@ -162,6 +172,10 @@ pub struct ExperimentPlan {
     /// Deliberate faults for testing the failure machinery (empty in
     /// production plans).
     pub faults: Vec<FaultSpec>,
+    /// Directory of the persistent trace corpus. `None` falls back to
+    /// the `ODBGC_CORPUS` environment variable; unset means no corpus
+    /// tier (traces are generated in-process as before).
+    pub corpus: Option<PathBuf>,
 }
 
 impl ExperimentPlan {
@@ -174,7 +188,15 @@ impl ExperimentPlan {
             cells: Vec::new(),
             failure_policy: FailurePolicy::default(),
             faults: Vec::new(),
+            corpus: None,
         }
+    }
+
+    /// Uses (and fills) the persistent trace corpus at `dir`, overriding
+    /// the `ODBGC_CORPUS` environment variable.
+    pub fn with_corpus(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.corpus = Some(dir.into());
+        self
     }
 
     /// Adds one grid cell.
@@ -222,20 +244,39 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
-/// Builds each (params, seed) trace exactly once and shares it between
-/// all jobs that replay it.
+/// A cached trace plus whether it originally came from the corpus.
+type TraceSlot = OnceLock<(Arc<Trace>, bool)>;
+
+/// Builds each (params, seed) trace exactly once per process and shares
+/// it between all jobs that replay it.
+///
+/// With a [`TraceCorpus`] attached, an in-memory miss consults the
+/// on-disk corpus before generating, and a generated trace is installed
+/// there for other processes: the lookup order is memory → corpus →
+/// generate.
 pub struct TraceCache {
     params: Oo7Params,
-    slots: Vec<(u64, OnceLock<Arc<Trace>>)>,
+    corpus: Option<TraceCorpus>,
+    // Each slot remembers whether its trace originally came from the
+    // corpus, so memory-tier re-serves of corpus data still count toward
+    // the corpus hit tally (see `TraceCorpus::note_hit`).
+    slots: Vec<(u64, TraceSlot)>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl TraceCache {
-    /// An empty cache for the given workload over the given seeds.
+    /// An empty cache for the given workload over the given seeds, with
+    /// no persistent tier.
     pub fn new(params: Oo7Params, seeds: &[u64]) -> Self {
+        TraceCache::with_corpus(params, seeds, None)
+    }
+
+    /// An empty cache backed by the given corpus (if any).
+    pub fn with_corpus(params: Oo7Params, seeds: &[u64], corpus: Option<TraceCorpus>) -> Self {
         TraceCache {
             params,
+            corpus,
             slots: seeds.iter().map(|&s| (s, OnceLock::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -247,7 +288,8 @@ impl TraceCache {
     /// Concurrent callers for the same seed block on the single builder
     /// (via [`OnceLock`]), so the build happens exactly once; the miss
     /// counter is bumped only inside the build, making `misses` the
-    /// exact number of traces generated.
+    /// exact number of traces materialized in this process (whether
+    /// loaded from the corpus or generated).
     pub fn get(&self, seed: u64) -> Arc<Trace> {
         let slot = self
             .slots
@@ -256,14 +298,26 @@ impl TraceCache {
             .map(|(_, slot)| slot)
             .unwrap_or_else(|| panic!("seed {seed} not in plan"));
         let mut built = false;
-        let trace = slot.get_or_init(|| {
+        let (trace, from_corpus) = slot.get_or_init(|| {
             built = true;
             self.misses.fetch_add(1, Ordering::Relaxed);
-            let (trace, _chars) = Oo7App::standard(self.params, seed).generate();
-            Arc::new(trace)
+            let generate = || Oo7App::standard(self.params, seed).generate().0;
+            match &self.corpus {
+                Some(corpus) => {
+                    let key = CorpusKey::new(self.params.cache_key(), seed);
+                    let (trace, loaded) = corpus.load_or_generate(&key, generate);
+                    (Arc::new(trace), loaded)
+                }
+                None => (Arc::new(generate()), false),
+            }
         });
         if !built {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if *from_corpus {
+                if let Some(corpus) = &self.corpus {
+                    corpus.note_hit();
+                }
+            }
         }
         Arc::clone(trace)
     }
@@ -274,6 +328,11 @@ impl TraceCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Corpus-tier counters, if a corpus is attached.
+    pub fn corpus_stats(&self) -> Option<CorpusStats> {
+        self.corpus.as_ref().map(TraceCorpus::stats)
     }
 }
 
@@ -310,6 +369,9 @@ pub struct PlanOutcome {
     pub failures: Vec<JobError>,
     /// Trace-cache statistics for the execution.
     pub cache: CacheStats,
+    /// Persistent-corpus statistics, when a corpus was in use (via
+    /// [`ExperimentPlan::corpus`] or `ODBGC_CORPUS`).
+    pub corpus: Option<CorpusStats>,
     /// Worker threads actually used.
     pub jobs: usize,
     /// Elapsed wall time for the whole plan.
@@ -384,7 +446,20 @@ fn run_plan(plan: &ExperimentPlan, jobs: Option<usize>) -> PlanOutcome {
         .min(n_jobs_total.max(1));
     let fail_fast = plan.failure_policy == FailurePolicy::FailFast;
 
-    let cache = TraceCache::new(plan.params, &plan.seeds);
+    let corpus = match &plan.corpus {
+        Some(dir) => match TraceCorpus::open(dir) {
+            Ok(corpus) => Some(corpus),
+            Err(e) => {
+                eprintln!(
+                    "odbgc: trace corpus {} unusable ({e}); generating traces instead",
+                    dir.display()
+                );
+                None
+            }
+        },
+        None => TraceCorpus::from_env(),
+    };
+    let cache = TraceCache::with_corpus(plan.params, &plan.seeds, corpus);
     // One pre-assigned slot per job: job i = cell (i / seeds) × seed
     // (i % seeds). Workers only ever write their own slot, and the
     // reduction below reads the slots in order — so the outcome does not
@@ -492,6 +567,7 @@ fn run_plan(plan: &ExperimentPlan, jobs: Option<usize>) -> PlanOutcome {
     PlanOutcome {
         cells,
         failures,
+        corpus: cache.corpus_stats(),
         cache: cache.stats(),
         jobs: workers,
         elapsed: started.elapsed(),
@@ -581,6 +657,96 @@ mod tests {
             odbgc_trace::codec::encode(&second)
         );
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    /// A unique throwaway corpus directory, cleaned up on drop.
+    struct TempCorpusDir(PathBuf);
+    impl TempCorpusDir {
+        fn new(name: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("odbgc-runner-corpus-{name}-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            TempCorpusDir(dir)
+        }
+    }
+    impl Drop for TempCorpusDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn corpus_tier_fills_on_first_run_and_serves_the_second() {
+        let tmp = TempCorpusDir::new("fill");
+        let plan = tiny_plan();
+
+        let cold = plan.clone().with_corpus(&tmp.0).run_with_jobs(Some(2));
+        let stats = cold.corpus.expect("corpus attached");
+        assert_eq!(stats.hits, 0, "cold corpus cannot hit");
+        assert_eq!(stats.generated, plan.seeds.len() as u64);
+
+        let warm = plan.clone().with_corpus(&tmp.0).run_with_jobs(Some(2));
+        let stats = warm.corpus.expect("corpus attached");
+        // Every job was ultimately served by corpus data: one disk load
+        // per seed, the rest re-served by the memory tier on top.
+        let jobs = (plan.cells.len() * plan.seeds.len()) as u64;
+        assert_eq!(stats.hits, jobs, "all jobs served from the corpus");
+        assert_eq!(stats.generated, 0, "nothing regenerated");
+
+        // Corpus-served traces replay to the same results as generated ones.
+        for (c, w) in cold.cells.iter().zip(&warm.cells) {
+            assert_eq!(c.outcome.runs, w.outcome.runs);
+        }
+    }
+
+    #[test]
+    fn corpus_loaded_trace_is_identical_to_generated() {
+        let tmp = TempCorpusDir::new("identity");
+        let filler = TraceCache::with_corpus(
+            Oo7Params::tiny(),
+            &[42],
+            Some(TraceCorpus::open(&tmp.0).unwrap()),
+        );
+        let generated = filler.get(42);
+
+        let loader = TraceCache::with_corpus(
+            Oo7Params::tiny(),
+            &[42],
+            Some(TraceCorpus::open(&tmp.0).unwrap()),
+        );
+        let loaded = loader.get(42);
+        assert_eq!(*generated, *loaded);
+        let stats = loader.corpus_stats().unwrap();
+        assert_eq!((stats.hits, stats.generated), (1, 0));
+    }
+
+    #[test]
+    fn different_params_use_distinct_corpus_entries() {
+        let tmp = TempCorpusDir::new("keyed");
+        let a = TraceCache::with_corpus(
+            Oo7Params::tiny(),
+            &[1],
+            Some(TraceCorpus::open(&tmp.0).unwrap()),
+        );
+        a.get(1);
+        // Same seed, different workload: must generate, not hit.
+        let mut params = Oo7Params::tiny();
+        params.num_atomic_per_comp += 1;
+        let b = TraceCache::with_corpus(params, &[1], Some(TraceCorpus::open(&tmp.0).unwrap()));
+        b.get(1);
+        let stats = b.corpus_stats().unwrap();
+        assert_eq!((stats.hits, stats.generated), (0, 1));
+    }
+
+    #[test]
+    fn unusable_corpus_dir_degrades_to_generation() {
+        let tmp = TempCorpusDir::new("unusable");
+        std::fs::create_dir_all(&tmp.0).unwrap();
+        let file = tmp.0.join("not-a-dir");
+        std::fs::write(&file, b"occupied").unwrap();
+        let out = tiny_plan().with_corpus(&file).run_with_jobs(Some(2));
+        assert!(out.corpus.is_none(), "corpus silently skipped");
+        assert!(out.is_complete(), "plan still ran without the corpus");
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The simulation loop.
 
+use std::borrow::Cow;
+use std::convert::Infallible;
+
 use odbgc_core::{CollectionObservation, GarbageEstimator, RatePolicy, Trigger, TriggerElapsed};
 use odbgc_gc::Collector;
 use odbgc_store::{Store, StoreError};
@@ -25,6 +28,42 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// A streaming-replay failure: either the simulation itself failed
+/// ([`SimError`]) or the event *source* did — e.g. a corrupt tracefile
+/// block discovered mid-replay.
+#[derive(Debug)]
+pub enum ReplayError<E> {
+    /// The store rejected an event.
+    Sim(SimError),
+    /// The event source yielded an error at the given position.
+    Source {
+        /// Index of the event that failed to materialize.
+        event_index: usize,
+        /// The source's error.
+        cause: E,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for ReplayError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Sim(e) => write!(f, "{e}"),
+            ReplayError::Source { event_index, cause } => {
+                write!(f, "event source failed at event {event_index}: {cause}")
+            }
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for ReplayError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Sim(e) => Some(e),
+            ReplayError::Source { cause, .. } => Some(cause),
+        }
+    }
+}
 
 /// Everything one run produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,6 +177,51 @@ impl Simulator {
 
     /// Replays `trace` under `policy`, collecting per the configuration.
     pub fn run(&self, trace: &Trace, policy: &mut dyn RatePolicy) -> Result<RunResult, SimError> {
+        let events = trace
+            .iter()
+            .map(|ev| Ok::<_, Infallible>(Cow::Borrowed(ev)));
+        match self.replay(trace.phase_names(), events, policy) {
+            Ok(result) => Ok(result),
+            Err(ReplayError::Sim(e)) => Err(e),
+            Err(ReplayError::Source { cause, .. }) => match cause {},
+        }
+    }
+
+    /// Replays a fallible *stream* of events under `policy`.
+    ///
+    /// This is the streaming twin of [`Simulator::run`]: events are
+    /// consumed one at a time from any source — most usefully an
+    /// `odbgc_tracefile` reader decoding a binary tracefile block by
+    /// block — so peak memory is O(live database), not O(trace). The
+    /// phase-name table must be supplied up front (tracefiles carry it
+    /// in their header) so [`Event::Phase`] markers can be named in the
+    /// result.
+    ///
+    /// A source error aborts the replay with
+    /// [`ReplayError::Source`] carrying the index of the event that
+    /// failed to materialize.
+    pub fn run_streaming<E>(
+        &self,
+        phase_names: &[String],
+        events: impl IntoIterator<Item = Result<Event, E>>,
+        policy: &mut dyn RatePolicy,
+    ) -> Result<RunResult, ReplayError<E>> {
+        self.replay(
+            phase_names,
+            events.into_iter().map(|r| r.map(Cow::Owned)),
+            policy,
+        )
+    }
+
+    /// The replay core shared by [`Simulator::run`] (borrowed events,
+    /// infallible source) and [`Simulator::run_streaming`] (owned
+    /// events, fallible source).
+    fn replay<'a, E>(
+        &self,
+        phase_names: &[String],
+        events: impl Iterator<Item = Result<Cow<'a, Event>, E>>,
+        policy: &mut dyn RatePolicy,
+    ) -> Result<RunResult, ReplayError<E>> {
         let mut store = Store::new(self.config.store.clone());
         let mut collector = Collector::new(self.config.selector.build(self.config.selector_seed));
         let mut metrics = RunMetrics::new(self.config.preamble_collections);
@@ -156,15 +240,28 @@ impl Simulator {
         let mut cached_partitions = 0usize;
         let mut cached_db_size = 0u64;
 
-        for (i, ev) in trace.iter().enumerate() {
-            if let Event::Phase { id } = ev {
-                let name = trace.phase_name(*id).unwrap_or("<unknown>").to_owned();
-                phases.push((name, i as u64, records.len() as u64));
-            }
-            store.apply(ev).map_err(|cause| SimError {
+        let mut events_replayed = 0u64;
+        for (i, ev) in events.enumerate() {
+            let ev = ev.map_err(|cause| ReplayError::Source {
                 event_index: i,
                 cause,
             })?;
+            let ev: &Event = &ev;
+            if let Event::Phase { id } = ev {
+                let name = phase_names
+                    .get(id.index())
+                    .map(String::as_str)
+                    .unwrap_or("<unknown>")
+                    .to_owned();
+                phases.push((name, i as u64, records.len() as u64));
+            }
+            store.apply(ev).map_err(|cause| {
+                ReplayError::Sim(SimError {
+                    event_index: i,
+                    cause,
+                })
+            })?;
+            events_replayed += 1;
 
             if store.partition_count() != cached_partitions {
                 cached_partitions = store.partition_count();
@@ -260,7 +357,7 @@ impl Simulator {
             final_garbage_bytes: store.garbage_bytes(),
             partition_count: store.partition_count() as u64,
             overwrite_clock: store.overwrite_clock(),
-            events_replayed: trace.len() as u64,
+            events_replayed,
             phases,
         })
     }

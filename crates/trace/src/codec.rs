@@ -57,10 +57,22 @@ impl std::error::Error for DecodeError {}
 /// ```
 pub fn encode(trace: &Trace) -> String {
     let mut out = String::with_capacity(trace.len() * 12 + 64);
-    out.push_str("odbgc-trace v1\n");
-    if !trace.phase_names().is_empty() {
+    out.push_str(&encode_header(trace.phase_names()));
+    for ev in trace.iter() {
+        encode_event(&mut out, ev);
+    }
+    out
+}
+
+/// The text-format preamble: the version line plus the `phases`
+/// declaration (omitted when there are no phases). Streaming writers
+/// emit this once, then [`encode_event`] per event; the concatenation is
+/// byte-identical to [`encode`].
+pub fn encode_header(phase_names: &[String]) -> String {
+    let mut out = String::from("odbgc-trace v1\n");
+    if !phase_names.is_empty() {
         out.push_str("phases");
-        for name in trace.phase_names() {
+        for name in phase_names {
             debug_assert!(
                 !name.contains(char::is_whitespace),
                 "phase names must be whitespace-free"
@@ -70,43 +82,45 @@ pub fn encode(trace: &Trace) -> String {
         }
         out.push('\n');
     }
-    for ev in trace.iter() {
-        match ev {
-            Event::Create { id, size, slots } => {
-                let _ = write!(out, "c {} {} {}", id.raw(), size, slots.len());
-                for s in slots.iter() {
-                    match s {
-                        Some(t) => {
-                            let _ = write!(out, " {}", t.raw());
-                        }
-                        None => out.push_str(" _"),
+    out
+}
+
+/// Appends one event as its text-format line (including the newline).
+pub fn encode_event(out: &mut String, ev: &Event) {
+    match ev {
+        Event::Create { id, size, slots } => {
+            let _ = write!(out, "c {} {} {}", id.raw(), size, slots.len());
+            for s in slots.iter() {
+                match s {
+                    Some(t) => {
+                        let _ = write!(out, " {}", t.raw());
                     }
+                    None => out.push_str(" _"),
                 }
-                out.push('\n');
             }
-            Event::Access { id } => {
-                let _ = writeln!(out, "a {}", id.raw());
+            out.push('\n');
+        }
+        Event::Access { id } => {
+            let _ = writeln!(out, "a {}", id.raw());
+        }
+        Event::SlotWrite { src, slot, new } => match new {
+            Some(t) => {
+                let _ = writeln!(out, "w {} {} {}", src.raw(), slot.raw(), t.raw());
             }
-            Event::SlotWrite { src, slot, new } => match new {
-                Some(t) => {
-                    let _ = writeln!(out, "w {} {} {}", src.raw(), slot.raw(), t.raw());
-                }
-                None => {
-                    let _ = writeln!(out, "w {} {} _", src.raw(), slot.raw());
-                }
-            },
-            Event::RootAdd { id } => {
-                let _ = writeln!(out, "r+ {}", id.raw());
+            None => {
+                let _ = writeln!(out, "w {} {} _", src.raw(), slot.raw());
             }
-            Event::RootRemove { id } => {
-                let _ = writeln!(out, "r- {}", id.raw());
-            }
-            Event::Phase { id } => {
-                let _ = writeln!(out, "ph {}", id.raw());
-            }
+        },
+        Event::RootAdd { id } => {
+            let _ = writeln!(out, "r+ {}", id.raw());
+        }
+        Event::RootRemove { id } => {
+            let _ = writeln!(out, "r- {}", id.raw());
+        }
+        Event::Phase { id } => {
+            let _ = writeln!(out, "ph {}", id.raw());
         }
     }
-    out
 }
 
 fn err(line: usize, message: impl Into<String>) -> DecodeError {

@@ -1,0 +1,153 @@
+//! On-disk binary trace corpus: compact tracefile format, streaming
+//! replay, and a persistent cross-process trace cache.
+//!
+//! The text codec in `odbgc-trace` is the diffable, human-readable
+//! interchange form; this crate is the *storage* form. A tracefile is a
+//! versioned binary container designed for three properties the text
+//! format cannot give:
+//!
+//! * **Compactness.** Events are varint/delta-encoded against the
+//!   previously seen object id, so the dense, locality-heavy id streams
+//!   produced by OO7 generation shrink to a fraction of their text size.
+//! * **Streaming.** [`TraceWriter`] encodes events as they arrive and
+//!   [`TraceReader`] decodes them block by block, so neither side ever
+//!   holds a whole trace in memory — peak memory is one block (~32 KiB),
+//!   not O(trace).
+//! * **Verifiability.** Every block is length-prefixed and CRC32-
+//!   checksummed; truncation, bit flips, foreign files, and
+//!   future-version files are all detected and reported as distinct
+//!   typed [`DecodeError`]s, never panics.
+//!
+//! ## Wire format (version 1)
+//!
+//! ```text
+//! file    := magic version flags block*
+//! magic   := "OTBF"                     (4 bytes)
+//! version := u16 LE                     (currently 1)
+//! flags   := u16 LE                     (reserved, 0)
+//! block   := kind:u8 len:u32-LE payload[len] crc:u32-LE
+//! ```
+//!
+//! The CRC is IEEE CRC32 over the payload bytes. Block kinds: `1` — the
+//! phase table (exactly one, always first: varint count, then
+//! varint-length-prefixed UTF-8 names); `2` — an event block (varint
+//! event count, then events); `3` — the end block (varint total event
+//! count, exactly one, always last). A file whose byte stream ends
+//! before the end block is *truncated*, even if it ends on a block
+//! boundary.
+//!
+//! Within an event block, object ids are encoded as zigzag varints of
+//! the wrapping difference from the previously encoded id; the delta
+//! state resets at each block boundary so blocks decode independently.
+//! See [`writer`] for the per-event layouts.
+//!
+//! On top of the format, [`TraceCorpus`] is a directory of tracefiles
+//! keyed by (workload, seed) with atomic temp-file + rename fills: a
+//! persistent, cross-process second cache tier behind the in-memory
+//! per-plan trace cache.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod crc32;
+pub mod error;
+pub mod reader;
+pub mod varint;
+pub mod writer;
+
+pub use corpus::{CorpusKey, CorpusStats, TraceCorpus};
+pub use error::DecodeError;
+pub use reader::{read_trace, TraceReader};
+pub use writer::{write_trace, TraceWriter};
+
+use odbgc_trace::Trace;
+
+/// The four magic bytes opening every tracefile.
+pub const MAGIC: [u8; 4] = *b"OTBF";
+
+/// The current (and only) format version this crate writes.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Block kind: the phase-name table (exactly one, first).
+pub(crate) const BLOCK_PHASES: u8 = 1;
+/// Block kind: a run of events.
+pub(crate) const BLOCK_EVENTS: u8 = 2;
+/// Block kind: the end marker carrying the total event count.
+pub(crate) const BLOCK_END: u8 = 3;
+
+/// Target payload size at which the writer seals an event block.
+pub(crate) const BLOCK_TARGET_BYTES: usize = 32 * 1024;
+
+/// Upper bound on a declared block length; a corrupted length field must
+/// not provoke an absurd allocation.
+pub(crate) const MAX_BLOCK_LEN: u32 = 16 * 1024 * 1024;
+
+/// True when `prefix` starts with the tracefile magic — used to sniff
+/// binary vs. text trace files.
+pub fn is_binary(prefix: &[u8]) -> bool {
+    prefix.len() >= MAGIC.len() && prefix[..MAGIC.len()] == MAGIC
+}
+
+/// Encodes a whole trace to an in-memory tracefile.
+pub fn encode(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(trace.len() * 4 + 64);
+    write_trace(&mut out, trace).expect("writing to a Vec cannot fail");
+    out
+}
+
+/// Decodes an in-memory tracefile into a fully materialized trace.
+pub fn decode(bytes: &[u8]) -> Result<Trace, DecodeError> {
+    read_trace(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbgc_trace::{SlotIdx, TraceBuilder};
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.phase("GenDB");
+        let a = b.create_unlinked(128, 3);
+        let c = b.create(64, vec![Some(a), None]);
+        b.root_add(a);
+        b.access(c);
+        b.slot_write(c, SlotIdx::new(1), Some(a));
+        b.slot_clear(c, SlotIdx::new(0));
+        b.phase("Reorg1");
+        b.root_remove(a);
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample_trace();
+        let bytes = encode(&t);
+        assert!(is_binary(&bytes));
+        assert_eq!(decode(&bytes).expect("decode"), t);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let t = Trace::default();
+        assert_eq!(decode(&encode(&t)).expect("decode"), t);
+    }
+
+    #[test]
+    fn text_is_not_binary() {
+        assert!(!is_binary(b"odbgc-trace v1\n"));
+        assert!(!is_binary(b""));
+        assert!(!is_binary(b"OTB"));
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let t = sample_trace();
+        let binary = encode(&t).len();
+        let text = odbgc_trace::codec::encode(&t).len();
+        assert!(
+            binary < text,
+            "binary {binary} B should beat text {text} B even on a toy trace"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! LEB128 varints and zigzag signed mapping.
+//!
+//! Unsigned values are encoded 7 bits per byte, low bits first, with the
+//! high bit as a continuation flag (at most 10 bytes for a `u64`).
+//! Signed deltas map through zigzag (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`)
+//! so small magnitudes of either sign stay short.
+
+/// Appends `value` to `out` as an LEB128 varint.
+pub fn put_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// Returns `None` on truncation, overlong encodings, or overflow — the
+/// caller maps that to its typed corruption error.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        let payload = u64::from(byte & 0x7F);
+        // The 10th byte may only carry the single remaining bit.
+        if shift == 63 && payload > 1 {
+            return None;
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// Zigzag-maps a signed delta into an unsigned varint payload.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: u64) {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos), Some(v));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn u64_round_trips() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            round_trip(v);
+        }
+    }
+
+    #[test]
+    fn encoding_lengths() {
+        let len = |v: u64| {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            buf.len()
+        };
+        assert_eq!(len(0), 1);
+        assert_eq!(len(127), 1);
+        assert_eq!(len(128), 2);
+        assert_eq!(len(u64::MAX), 10);
+    }
+
+    #[test]
+    fn truncated_input_is_detected() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 1 << 40);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn overflowing_input_is_detected() {
+        // 11 continuation bytes can never be a valid u64.
+        let buf = [0xFFu8; 11];
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos), None);
+        // A 10-byte encoding whose last byte carries more than one bit
+        // would overflow 64 bits.
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: the binary tracefile format is a lossless round-trip
+//! for any trace the type system can represent, and it agrees with the
+//! text codec — both decode back to the same `Trace`.
+
+use proptest::prelude::*;
+
+use odbgc_trace::synthetic::{churn, ChurnConfig};
+use odbgc_trace::{codec, Event, ObjectId, PhaseId, SlotIdx, Trace};
+use odbgc_tracefile::{decode, encode, TraceReader};
+
+/// Strategy for an arbitrary (not necessarily semantically valid) event,
+/// with ids drawn from the full u64 range so the zigzag-delta encoding's
+/// wrapping arithmetic gets exercised, not just small ids.
+fn arb_event() -> impl Strategy<Value = Event> {
+    let obj = prop_oneof![0u64..1000, any::<u64>()].prop_map(ObjectId::new);
+    let opt_obj = proptest::option::of(obj.clone());
+    prop_oneof![
+        (
+            obj.clone(),
+            1u32..10_000,
+            proptest::collection::vec(opt_obj.clone(), 0..8)
+        )
+            .prop_map(|(id, size, slots)| Event::Create {
+                id,
+                size,
+                slots: slots.into_boxed_slice(),
+            }),
+        obj.clone().prop_map(|id| Event::Access { id }),
+        (obj.clone(), 0u32..8, opt_obj).prop_map(|(src, slot, new)| Event::SlotWrite {
+            src,
+            slot: SlotIdx::new(slot),
+            new,
+        }),
+        obj.clone().prop_map(|id| Event::RootAdd { id }),
+        obj.prop_map(|id| Event::RootRemove { id }),
+        (0u16..4).prop_map(|id| Event::Phase {
+            id: PhaseId::new(id)
+        }),
+    ]
+}
+
+fn trace_from(events: Vec<Event>) -> Trace {
+    let n_phases = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Phase { id } => Some(id.index() + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let phase_names: Vec<String> = (0..n_phases).map(|i| format!("phase{i}")).collect();
+    Trace::from_parts(events, phase_names)
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_traces_round_trip_in_binary(
+        events in proptest::collection::vec(arb_event(), 0..300)
+    ) {
+        let trace = trace_from(events);
+        let bytes = encode(&trace);
+        prop_assert_eq!(decode(&bytes).expect("binary decode"), trace);
+    }
+
+    #[test]
+    fn binary_and_text_codecs_agree(
+        events in proptest::collection::vec(arb_event(), 0..200)
+    ) {
+        let trace = trace_from(events);
+        let via_binary = decode(&encode(&trace)).expect("binary decode");
+        let via_text = codec::decode(&codec::encode(&trace)).expect("text decode");
+        prop_assert_eq!(&via_binary, &via_text);
+        prop_assert_eq!(via_binary, trace);
+    }
+
+    #[test]
+    fn streaming_reader_agrees_with_whole_file_decode(
+        events in proptest::collection::vec(arb_event(), 0..300)
+    ) {
+        let trace = trace_from(events);
+        let bytes = encode(&trace);
+        let streamed: Vec<Event> = TraceReader::new(bytes.as_slice())
+            .expect("header")
+            .map(|ev| ev.expect("event"))
+            .collect();
+        prop_assert_eq!(streamed.as_slice(), trace.events());
+    }
+
+    #[test]
+    fn churn_traces_round_trip_in_binary(seed in any::<u64>(), steps in 1usize..300) {
+        let cfg = ChurnConfig { steps, ..ChurnConfig::default() };
+        let trace = churn(&cfg, seed);
+        prop_assert_eq!(decode(&encode(&trace)).expect("decode"), trace);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(
+        events in proptest::collection::vec(arb_event(), 0..100)
+    ) {
+        let trace = trace_from(events);
+        prop_assert_eq!(encode(&trace), encode(&trace));
+    }
+}
+
+#[test]
+fn small_oo7_trace_round_trips_and_agrees_with_text() {
+    for seed in [1, 2, 7] {
+        let (trace, _) = odbgc_oo7::Oo7App::standard(odbgc_oo7::Oo7Params::tiny(), seed).generate();
+        let bytes = encode(&trace);
+        assert_eq!(decode(&bytes).unwrap(), trace);
+        assert_eq!(codec::decode(&codec::encode(&trace)).unwrap(), trace);
+    }
+}

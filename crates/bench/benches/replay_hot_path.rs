@@ -1,0 +1,41 @@
+//! Guards the telemetry layer's zero-cost-when-off contract: replaying a
+//! trace through `Simulator::run` (telemetry disabled) must not regress
+//! when the instrumented `run_with_telemetry` path exists, and the
+//! instrumented path's overhead is measured alongside it for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use odbgc_core::SaioPolicy;
+use odbgc_oo7::{Oo7App, Oo7Params};
+use odbgc_sim::{SimConfig, Simulator};
+use odbgc_trace::Trace;
+
+fn bench_trace() -> Trace {
+    Oo7App::standard(Oo7Params::tiny(), 1).generate().0
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let trace = bench_trace();
+    let sim = Simulator::new(SimConfig::tiny());
+
+    c.bench_function("replay_hot_path/telemetry_off", |b| {
+        b.iter(|| {
+            let mut policy = SaioPolicy::with_frac(0.10);
+            black_box(sim.run(black_box(&trace), &mut policy).expect("run"))
+        })
+    });
+
+    c.bench_function("replay_hot_path/telemetry_on", |b| {
+        b.iter(|| {
+            let mut policy = SaioPolicy::with_frac(0.10);
+            black_box(
+                sim.run_with_telemetry(black_box(&trace), &mut policy)
+                    .expect("run"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

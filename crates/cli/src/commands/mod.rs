@@ -4,6 +4,7 @@ pub mod generate;
 pub mod info;
 pub mod run;
 pub mod sweep;
+pub mod telemetry;
 pub mod trace;
 
 use odbgc_trace::Trace;

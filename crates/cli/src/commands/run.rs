@@ -1,7 +1,7 @@
 //! `odbgc run` — simulate one policy over a trace.
 
 use odbgc_oo7::Oo7App;
-use odbgc_sim::{run_single, SimConfig};
+use odbgc_sim::{run_single, SimConfig, Simulator};
 
 use crate::commands::load_trace;
 use crate::flags::Flags;
@@ -19,6 +19,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let style = flags.get("style");
     let selector = flags.get("selector");
     let series_path = flags.get("series");
+    let telemetry_path = flags.get("telemetry");
     let preamble: u64 = flags.get_or("preamble", 10)?;
     let store_geometry = flags.get("store");
     flags.finish()?;
@@ -49,8 +50,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         config.selector_seed = seed;
     }
     let mut policy = spec::build_policy(&policy_spec)?;
-    let result = run_single(&trace, &config, policy.as_mut())
-        .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+    let result = match &telemetry_path {
+        None => run_single(&trace, &config, policy.as_mut())
+            .map_err(|e| CliError(format!("simulation failed: {e}")))?,
+        Some(path) => {
+            // The instrumented path produces the exact same RunResult;
+            // the telemetry sink is a pure observer (see sim tests).
+            let (result, telemetry) = Simulator::new(config.clone())
+                .run_with_telemetry(&trace, policy.as_mut())
+                .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+            let json = telemetry.to_json().to_string_pretty();
+            std::fs::write(path, json)
+                .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+            result
+        }
+    };
 
     if let Some(path) = series_path {
         let mut csv = String::from(
@@ -77,7 +91,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some(v) => format!("{v:.2}%"),
         None => "n/a (run shorter than preamble)".to_owned(),
     };
-    Ok(format!(
+    let mut out = format!(
         "policy:            {}\n\
          events replayed:   {}\n\
          collections:       {}\n\
@@ -102,7 +116,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         result.final_garbage_bytes as f64 / 1024.0,
         result.final_db_size as f64 / 1_048_576.0,
         result.partition_count,
-    ))
+    );
+    if let Some(path) = &telemetry_path {
+        out.push_str(&format!("\ntelemetry written to {path}"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -136,6 +154,60 @@ mod tests {
         let text = std::fs::read_to_string(&csv).unwrap();
         assert!(text.starts_with("collection,clock"));
         assert!(text.lines().count() > 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_flag_writes_verifiable_json() {
+        let dir =
+            std::env::temp_dir().join(format!("odbgc-cli-test-run-tel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.json");
+        let out = run(&argv(&format!(
+            "--policy saio:10% --params tiny --store tiny --preamble 2 --telemetry {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("telemetry written to"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = odbgc_sim::Json::parse(&text).expect("telemetry must parse");
+        assert_eq!(odbgc_sim::verify_header(&doc).as_deref(), Ok("run"));
+        // The decision log length matches the reported collection count.
+        let colls: u64 = out
+            .lines()
+            .find(|l| l.starts_with("collections:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert_eq!(
+            doc.get("decision_count").and_then(odbgc_sim::Json::as_u64),
+            Some(colls)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_run_result_matches_plain_run() {
+        let dir =
+            std::env::temp_dir().join(format!("odbgc-cli-test-run-tel-eq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.json");
+        let plain = run(&argv(
+            "--policy saio:10% --params tiny --store tiny --preamble 2",
+        ))
+        .unwrap();
+        let instrumented = run(&argv(&format!(
+            "--policy saio:10% --params tiny --store tiny --preamble 2 --telemetry {}",
+            path.display()
+        )))
+        .unwrap();
+        // Identical report modulo the trailing "telemetry written" line.
+        let stripped = instrumented
+            .lines()
+            .filter(|l| !l.starts_with("telemetry written"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(plain, stripped);
         std::fs::remove_dir_all(&dir).ok();
     }
 

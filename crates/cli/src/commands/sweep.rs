@@ -2,7 +2,9 @@
 
 use odbgc_core::{EstimatorKind, PolicySpec};
 use odbgc_sim::report::fmt_f;
-use odbgc_sim::{sweep_point, ExperimentPlan, FaultKind, FaultSpec, SimConfig, SweepPoint};
+use odbgc_sim::{
+    sweep_point, ExperimentPlan, FaultKind, FaultSpec, PlanTelemetry, SimConfig, SweepPoint,
+};
 
 use crate::flags::{parse_number_list, parse_seed_range, Flags};
 use crate::spec;
@@ -25,7 +27,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let conn: u32 = flags.get_or("conn", 3)?;
     let params_name = flags.get("params");
     let csv_path = flags.get("csv");
+    let telemetry_path = flags.get("telemetry");
     let corpus = flags.get("corpus");
+    // `--progress N` prints a stderr line every N completed jobs.
+    let progress_every = match flags.get("progress") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                return Err(CliError(format!(
+                    "--progress needs a positive integer, got {v:?}"
+                )))
+            }
+        },
+        None => None,
+    };
     let jobs = match flags.get("jobs") {
         Some(v) => match v.parse::<usize>() {
             Ok(n) if n >= 1 => Some(n),
@@ -91,7 +106,31 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             kind: FaultKind::PoisonTrace,
         });
     }
-    let outcome = plan.run_with_jobs(jobs);
+    let outcome = match progress_every {
+        None => plan.run_with_jobs(jobs),
+        Some(every) => plan.run_with_jobs_and_progress(jobs, &move |p| {
+            if p.done % every == 0 || p.done == p.total {
+                eprintln!(
+                    "sweep: {}/{} jobs done{}",
+                    p.done,
+                    p.total,
+                    if p.failed > 0 {
+                        format!(", {} failed", p.failed)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+        }),
+    };
+    if let Some(path) = &telemetry_path {
+        // Written before the failure early-return below: a partially
+        // failed sweep still leaves a full telemetry record (including
+        // the failure list) on disk for inspection.
+        let telemetry = PlanTelemetry::from_outcome(&plan, &outcome);
+        std::fs::write(path, telemetry.to_json().to_string_pretty())
+            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+    }
     let results: Vec<(SweepPoint, f64)> = outcome
         .cells
         .iter()
@@ -147,6 +186,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if let Some(path) = csv_path {
         std::fs::write(&path, csv).map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
         out.push_str(&format!("csv written to {path}\n"));
+    }
+    if let Some(path) = &telemetry_path {
+        out.push_str(&format!("telemetry written to {path}\n"));
     }
     if !outcome.failures.is_empty() {
         // One line per failed job, then a nonzero exit: partial results
@@ -252,6 +294,69 @@ mod tests {
                 .collect()
         };
         assert_eq!(data(&serial), data(&parallel));
+    }
+
+    #[test]
+    fn telemetry_flag_writes_plan_document() {
+        let dir =
+            std::env::temp_dir().join(format!("odbgc-cli-test-sweep-tel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        let out = run(&argv(&format!(
+            "--policy saio --points 10,20 --seeds 1..2 --params tiny --conn 2 --telemetry {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("telemetry written to"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = odbgc_sim::Json::parse(&text).expect("plan telemetry must parse");
+        assert_eq!(odbgc_sim::verify_header(&doc).as_deref(), Ok("plan"));
+        assert_eq!(
+            doc.get("failure_count").and_then(odbgc_sim::Json::as_u64),
+            Some(0)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_survives_a_failed_sweep() {
+        let dir = std::env::temp_dir().join(format!(
+            "odbgc-cli-test-sweep-tel-fail-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        // The sweep errors (poisoned job ⇒ nonzero exit) but the
+        // telemetry file must still be written, recording the failure.
+        let err = run(&argv(&format!(
+            "--policy saio --points 10,20 --seeds 1..2 --params tiny --conn 2 --poison 0:1 --telemetry {}",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("1 job(s) failed"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = odbgc_sim::Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("failure_count").and_then(odbgc_sim::Json::as_u64),
+            Some(1)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_flag_accepts_positive_counts_only() {
+        assert!(run(&argv(
+            "--policy saio --points 10 --seeds 1 --params tiny --conn 2 --progress 1"
+        ))
+        .is_ok());
+        assert!(run(&argv(
+            "--policy saio --points 10 --seeds 1 --params tiny --progress 0"
+        ))
+        .is_err());
+        assert!(run(&argv(
+            "--policy saio --points 10 --seeds 1 --params tiny --progress x"
+        ))
+        .is_err());
     }
 
     #[test]

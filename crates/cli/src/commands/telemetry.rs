@@ -1,0 +1,133 @@
+//! `odbgc telemetry` — inspect and validate telemetry exports.
+//!
+//! `verify` is what CI runs against `sweep --telemetry` output: it
+//! parses the document, checks the schema header (name + version), and
+//! prints a one-screen summary. Any structural problem is a hard error
+//! (nonzero exit).
+
+use odbgc_sim::{verify_header, Json};
+
+use crate::flags::Flags;
+use crate::CliError;
+
+/// Dispatches `odbgc telemetry <subcommand>`.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(CliError("telemetry wants a subcommand: verify".into()));
+    };
+    match sub.as_str() {
+        "verify" => verify(rest),
+        other => Err(CliError(format!(
+            "unknown telemetry subcommand {other:?}; try verify"
+        ))),
+    }
+}
+
+/// `odbgc telemetry verify --file <json>`.
+fn verify(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let path = flags.require("file")?;
+    flags.finish()?;
+
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?;
+    let doc = Json::parse(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let kind = verify_header(&doc).map_err(|e| CliError(format!("{path}: {e}")))?;
+
+    // Parse → re-emit must reproduce the document byte for byte; a
+    // mismatch means the export and the parser disagree about the
+    // format, which would silently corrupt any rewrite pipeline.
+    if doc.to_string_pretty() != text {
+        return Err(CliError(format!(
+            "{path}: document does not round-trip through the parser"
+        )));
+    }
+
+    let mut out = format!("{path}: valid odbgc-telemetry ({kind})");
+    match kind.as_str() {
+        "run" => {
+            let decisions = doc
+                .get("decision_count")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CliError(format!("{path}: run document lacks decision_count")))?;
+            let phases = doc
+                .get("phases")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            out.push_str(&format!("\n  {decisions} decisions over {phases} phases"));
+        }
+        "plan" => {
+            let cells = doc
+                .get("cells")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            let failures = doc
+                .get("failure_count")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CliError(format!("{path}: plan document lacks failure_count")))?;
+            out.push_str(&format!("\n  {cells} cells, {failures} failed job(s)"));
+        }
+        _ => {}
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("odbgc-cli-test-tel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn verify_accepts_a_real_run_export() {
+        use odbgc_sim::core_policies::SaioPolicy;
+        use odbgc_sim::oo7::{Oo7App, Oo7Params};
+        use odbgc_sim::{SimConfig, Simulator};
+        let trace = Oo7App::standard(Oo7Params::tiny(), 21).generate().0;
+        let mut policy = SaioPolicy::with_frac(0.10);
+        let (_, telemetry) = Simulator::new(SimConfig::tiny())
+            .run_with_telemetry(&trace, &mut policy)
+            .unwrap();
+        let path = temp_file("run-ok.json", &telemetry.to_json().to_string_pretty());
+        let out = run(&argv(&format!("verify --file {}", path.display()))).unwrap();
+        assert!(out.contains("valid odbgc-telemetry (run)"), "{out}");
+        assert!(out.contains("decisions over"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn verify_rejects_malformed_json() {
+        let path = temp_file("broken.json", "{\"schema\": ");
+        let e = run(&argv(&format!("verify --file {}", path.display()))).unwrap_err();
+        assert!(e.to_string().contains("JSON error at byte"), "{e}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn verify_rejects_wrong_schema() {
+        let path = temp_file(
+            "wrong.json",
+            "{\n  \"schema\": \"other\",\n  \"version\": 1,\n  \"kind\": \"run\"\n}\n",
+        );
+        let e = run(&argv(&format!("verify --file {}", path.display()))).unwrap_err();
+        assert!(e.to_string().contains("schema"), "{e}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_subcommand_or_file_errors() {
+        assert!(run(&[]).is_err());
+        assert!(run(&argv("verify")).is_err());
+        assert!(run(&argv("frobnicate --file x")).is_err());
+    }
+}

@@ -64,6 +64,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "info" => commands::info::run(rest),
         "run" => commands::run::run(rest),
         "sweep" => commands::sweep::run(rest),
+        "telemetry" => commands::telemetry::run(rest),
         "trace" => commands::trace::run(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError(format!(
@@ -84,8 +85,11 @@ USAGE:
   odbgc run      (--trace <file> | [--conn N] [--seed N]) --policy <spec>
                  [--selector updated-pointer|random|round-robin|most-garbage]
                  [--series <csv>] [--preamble N] [--store paper|tiny]
+                 [--telemetry <json>]
   odbgc sweep    --policy saio|saga[:estimator] --points a,b,c [--seeds A..B]
                  [--conn N] [--csv <file>] [--jobs N] [--corpus <dir>]
+                 [--telemetry <json>] [--progress N]
+  odbgc telemetry verify --file <json>
   odbgc trace    convert --in <file> --out <file> [--format binary|text]
   odbgc trace    stat|verify|cat --trace <file>   (cat: [--limit N])
 
@@ -102,7 +106,12 @@ POLICY SPECS:
 
 Sweeps run cell × seed on --jobs worker threads (or ODBGC_JOBS; default:
 all cores). Results are independent of the worker count.
-Everything is deterministic in --seed (default 1)."
+Everything is deterministic in --seed (default 1).
+
+--telemetry writes a versioned JSON document (policy decision log and
+per-phase accounting for `run`; per-job wall times, cache tiers, and the
+failure list for `sweep`); `odbgc telemetry verify` checks one.
+--progress N prints a stderr line every N completed sweep jobs."
         .to_owned()
 }
 

@@ -124,4 +124,28 @@ mod tests {
     fn name_includes_h() {
         assert_eq!(FgsHb::new(0.5).name(), "fgs-hb(h=0.50)");
     }
+
+    #[test]
+    fn boundary_history_factors_accepted() {
+        FgsHb::new(0.0);
+        FgsHb::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "history factor")]
+    fn history_factor_above_one_rejected() {
+        FgsHb::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "history factor")]
+    fn negative_history_factor_rejected() {
+        FgsHb::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "history factor")]
+    fn nan_history_factor_rejected() {
+        FgsHb::new(f64::NAN);
+    }
 }

@@ -14,7 +14,7 @@
 
 use crate::estimator::GarbageEstimator;
 use crate::estimators::fgs_hb::FgsHb;
-use crate::policy::{CollectionObservation, RatePolicy, Trigger};
+use crate::policy::{ClampHit, CollectionObservation, RatePolicy, Trigger};
 use crate::saio::{SaioConfig, SaioPolicy};
 
 /// Configuration for [`CoupledSaioPolicy`].
@@ -108,6 +108,10 @@ impl RatePolicy for CoupledSaioPolicy {
             self.config.garbage_floor * 100.0,
             self.config.stretch
         )
+    }
+
+    fn last_clamp(&self) -> ClampHit {
+        self.saio.last_clamp()
     }
 }
 

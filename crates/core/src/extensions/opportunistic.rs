@@ -8,7 +8,7 @@
 //! the workload is treated as quiescent (mutation-free) and a collection
 //! runs early.
 
-use crate::policy::{CollectionObservation, RatePolicy, Trigger};
+use crate::policy::{ClampHit, CollectionObservation, RatePolicy, Trigger};
 
 /// Configuration for [`OpportunisticPolicy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +78,10 @@ impl RatePolicy for OpportunisticPolicy {
             self.inner.name(),
             self.config.quiescence_io
         )
+    }
+
+    fn last_clamp(&self) -> ClampHit {
+        self.inner.last_clamp()
     }
 }
 

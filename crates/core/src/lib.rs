@@ -49,7 +49,9 @@ pub use ewma::Ewma;
 pub use extensions::coupled::{CoupledConfig, CoupledSaioPolicy};
 pub use extensions::opportunistic::{OpportunisticConfig, OpportunisticPolicy};
 pub use fixed::{connectivity_heuristic_rate, AllocationRatePolicy, FixedRatePolicy};
-pub use policy::{CollectionObservation, HistoryLen, RatePolicy, Trigger, TriggerElapsed};
+pub use policy::{
+    ClampHit, CollectionObservation, HistoryLen, RatePolicy, Trigger, TriggerElapsed,
+};
 pub use saga::{SagaConfig, SagaPolicy};
 pub use saio::{SaioConfig, SaioPolicy};
 pub use slope::WeightedSlope;

@@ -176,6 +176,40 @@ impl HistoryLen {
     }
 }
 
+/// Whether a policy's most recent interval computation was limited by a
+/// configured clamp rather than landing inside the open interval.
+///
+/// Telemetry records this per decision: §2.3 claims the SAGA clamps
+/// `[Δt_min, Δt_max]` are "rarely hit in practice", and the decision log
+/// is how that claim becomes checkable on a given workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClampHit {
+    /// The computed interval was used as-is.
+    #[default]
+    None,
+    /// The computation hit the lower clamp (collect as soon as allowed).
+    Min,
+    /// The computation hit the upper clamp (back off as far as allowed).
+    Max,
+}
+
+impl ClampHit {
+    /// Stable lower-case label for reports and JSON export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClampHit::None => "none",
+            ClampHit::Min => "min",
+            ClampHit::Max => "max",
+        }
+    }
+}
+
+impl std::fmt::Display for ClampHit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A collection-rate policy: decides when the next collection runs.
 pub trait RatePolicy {
     /// Trigger for the first collection of a run (cold start).
@@ -186,6 +220,13 @@ pub trait RatePolicy {
 
     /// Policy name (with parameters) for reports.
     fn name(&self) -> String;
+
+    /// Whether the most recent [`RatePolicy::after_collection`] decision
+    /// hit a configured clamp. Policies without clamps (or wrappers that
+    /// do not delegate) report [`ClampHit::None`].
+    fn last_clamp(&self) -> ClampHit {
+        ClampHit::None
+    }
 }
 
 #[cfg(test)]
@@ -237,5 +278,30 @@ mod tests {
         assert_eq!(HistoryLen::None.limit(), Some(0));
         assert_eq!(HistoryLen::Fixed(3).limit(), Some(3));
         assert_eq!(HistoryLen::Infinite.limit(), None);
+    }
+
+    #[test]
+    fn clamp_hit_labels_are_stable() {
+        assert_eq!(ClampHit::None.as_str(), "none");
+        assert_eq!(ClampHit::Min.to_string(), "min");
+        assert_eq!(ClampHit::Max.to_string(), "max");
+        assert_eq!(ClampHit::default(), ClampHit::None);
+    }
+
+    #[test]
+    fn last_clamp_defaults_to_none() {
+        struct Plain;
+        impl RatePolicy for Plain {
+            fn initial_trigger(&mut self) -> Trigger {
+                Trigger::after_overwrites(1)
+            }
+            fn after_collection(&mut self, _: &CollectionObservation) -> Trigger {
+                Trigger::after_overwrites(1)
+            }
+            fn name(&self) -> String {
+                "plain".into()
+            }
+        }
+        assert_eq!(Plain.last_clamp(), ClampHit::None);
     }
 }

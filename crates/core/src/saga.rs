@@ -24,7 +24,7 @@
 //! a pluggable [`GarbageEstimator`] (§2.4).
 
 use crate::estimator::GarbageEstimator;
-use crate::policy::{CollectionObservation, RatePolicy, Trigger};
+use crate::policy::{ClampHit, CollectionObservation, RatePolicy, Trigger};
 use crate::slope::WeightedSlope;
 
 /// SAGA configuration.
@@ -86,6 +86,8 @@ pub struct SagaPolicy {
     config: SagaConfig,
     slope: WeightedSlope,
     estimator: Box<dyn GarbageEstimator>,
+    /// Whether the last `Δt` computation hit `dt_min` or `dt_max`.
+    last_clamp: ClampHit,
 }
 
 impl std::fmt::Debug for SagaPolicy {
@@ -105,6 +107,7 @@ impl SagaPolicy {
             slope: WeightedSlope::new(config.weight),
             config,
             estimator,
+            last_clamp: ClampHit::None,
         }
     }
 
@@ -147,19 +150,34 @@ impl RatePolicy for SagaPolicy {
         let dt = if numer <= 0.0 {
             // Already over target even after assuming the next collection
             // reclaims CurrColl: collect as soon as possible.
+            self.last_clamp = ClampHit::Min;
             self.config.dt_min
         } else if rate > f64::EPSILON {
             let raw = numer / rate;
             if raw.is_finite() && raw >= 0.0 {
-                (raw.round() as u64).clamp(self.config.dt_min, self.config.dt_max)
+                let rounded = raw.round() as u64;
+                self.last_clamp = if rounded < self.config.dt_min {
+                    ClampHit::Min
+                } else if rounded > self.config.dt_max {
+                    ClampHit::Max
+                } else {
+                    ClampHit::None
+                };
+                rounded.clamp(self.config.dt_min, self.config.dt_max)
             } else {
+                self.last_clamp = ClampHit::Max;
                 self.config.dt_max
             }
         } else {
             // No measured garbage growth: back off to the maximum.
+            self.last_clamp = ClampHit::Max;
             self.config.dt_max
         };
         Trigger::after_overwrites(dt)
+    }
+
+    fn last_clamp(&self) -> ClampHit {
+        self.last_clamp
     }
 
     fn name(&self) -> String {
@@ -347,6 +365,39 @@ mod tests {
             ..CollectionObservation::zero()
         });
         assert_eq!(t, Trigger::after_overwrites(50));
+    }
+
+    #[test]
+    fn clamp_hits_are_recorded_per_decision() {
+        let mut p = oracle_saga(0.05);
+        assert_eq!(p.last_clamp(), ClampHit::None);
+        // Prime the slope, then push far over target: dt_min decision.
+        p.after_collection(&CollectionObservation {
+            overwrite_clock: 100,
+            exact_garbage: 10_000,
+            db_size: 100_000,
+            bytes_reclaimed: 100,
+            ..CollectionObservation::zero()
+        });
+        p.after_collection(&CollectionObservation {
+            overwrite_clock: 200,
+            exact_garbage: 50_000,
+            db_size: 100_000,
+            bytes_reclaimed: 100,
+            ..CollectionObservation::zero()
+        });
+        assert_eq!(p.last_clamp(), ClampHit::Min);
+        // No measured growth at all backs off to dt_max.
+        let mut q = oracle_saga(0.10);
+        for clock in [100, 200] {
+            q.after_collection(&CollectionObservation {
+                overwrite_clock: clock,
+                exact_garbage: 0,
+                db_size: 100_000,
+                ..CollectionObservation::zero()
+            });
+        }
+        assert_eq!(q.last_clamp(), ClampHit::Max);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use std::collections::VecDeque;
 
-use crate::policy::{CollectionObservation, HistoryLen, RatePolicy, Trigger};
+use crate::policy::{ClampHit, CollectionObservation, HistoryLen, RatePolicy, Trigger};
 
 /// SAIO configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +91,8 @@ pub struct SaioPolicy {
     /// Observed (app_io, gc_io) intervals, newest at the back, trimmed to
     /// the history limit.
     intervals: VecDeque<(u64, u64)>,
+    /// Whether the last computed interval hit a configured clamp.
+    last_clamp: ClampHit,
 }
 
 impl SaioPolicy {
@@ -100,6 +102,7 @@ impl SaioPolicy {
         SaioPolicy {
             config,
             intervals: VecDeque::new(),
+            last_clamp: ClampHit::None,
         }
     }
 
@@ -144,11 +147,26 @@ impl RatePolicy for SaioPolicy {
         let predicted_gc = (gc_hist + obs.gc_io) as f64;
         let raw = predicted_gc * (1.0 - self.config.frac) / self.config.frac - app_hist as f64;
         let interval = if raw.is_finite() && raw > 0.0 {
-            (raw.round() as u64).clamp(self.config.min_interval, self.config.max_interval)
+            let rounded = raw.round() as u64;
+            self.last_clamp = if rounded < self.config.min_interval {
+                ClampHit::Min
+            } else if rounded > self.config.max_interval {
+                ClampHit::Max
+            } else {
+                ClampHit::None
+            };
+            rounded.clamp(self.config.min_interval, self.config.max_interval)
         } else {
+            // A non-positive solution means the budget is already spent:
+            // collecting at the minimum interval is a lower-clamp decision.
+            self.last_clamp = ClampHit::Min;
             self.config.min_interval
         };
         Trigger::after_app_io(interval)
+    }
+
+    fn last_clamp(&self) -> ClampHit {
+        self.last_clamp
     }
 
     fn name(&self) -> String {
@@ -277,6 +295,29 @@ mod tests {
     #[should_panic(expected = "SAIO_Frac")]
     fn zero_frac_rejected() {
         SaioPolicy::with_frac(0.0);
+    }
+
+    #[test]
+    fn clamp_hits_are_recorded_per_decision() {
+        let cfg = SaioConfig {
+            min_interval: 10,
+            max_interval: 100,
+            ..SaioConfig::new(0.10)
+        };
+        let mut p = SaioPolicy::new(cfg);
+        assert_eq!(p.last_clamp(), ClampHit::None);
+        // 90 gc I/O → raw 810, above max 100 → upper clamp.
+        assert_eq!(p.after_collection(&obs(0, 90)), Trigger::after_app_io(100));
+        assert_eq!(p.last_clamp(), ClampHit::Max);
+        // 1 gc I/O → raw 9, below min 10 → lower clamp.
+        assert_eq!(p.after_collection(&obs(0, 1)), Trigger::after_app_io(10));
+        assert_eq!(p.last_clamp(), ClampHit::Min);
+        // 5 gc I/O → raw 45, inside [10, 100] → no clamp.
+        assert_eq!(p.after_collection(&obs(0, 5)), Trigger::after_app_io(45));
+        assert_eq!(p.last_clamp(), ClampHit::None);
+        // Zero-cost collection → degenerate raw → lower clamp.
+        p.after_collection(&obs(500, 0));
+        assert_eq!(p.last_clamp(), ClampHit::Min);
     }
 
     #[test]

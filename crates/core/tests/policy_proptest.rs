@@ -98,6 +98,73 @@ proptest! {
     }
 
     #[test]
+    fn saio_triggers_respect_configured_clamps(
+        frac in 0.01f64..1.0,
+        min_interval in 1u64..1_000,
+        span in 0u64..1_000_000,
+        observations in proptest::collection::vec(arb_obs(), 1..50),
+    ) {
+        // Closed-loop invariant (satellite of the telemetry work): no
+        // matter what the workload feeds back, every emitted trigger
+        // stays inside the *configured* clamps, and the policy's clamp
+        // diagnostic agrees with where the interval landed.
+        let cfg = SaioConfig {
+            min_interval,
+            max_interval: min_interval + span,
+            ..SaioConfig::new(frac)
+        };
+        let mut p = SaioPolicy::new(cfg);
+        for obs in &observations {
+            let t = p.after_collection(obs);
+            let n = t.app_io.expect("SAIO triggers on app I/O");
+            prop_assert!(
+                n >= cfg.min_interval && n <= cfg.max_interval,
+                "interval {} outside [{}, {}]", n, cfg.min_interval, cfg.max_interval
+            );
+            match p.last_clamp() {
+                odbgc_core::ClampHit::Min => prop_assert_eq!(n, cfg.min_interval),
+                odbgc_core::ClampHit::Max => prop_assert_eq!(n, cfg.max_interval),
+                odbgc_core::ClampHit::None => {}
+            }
+        }
+    }
+
+    #[test]
+    fn saio_achieved_share_is_monotone_in_requested_fraction(
+        base in 0.02f64..0.4,
+        step in 0.05f64..0.4,
+        gc_io in 1u64..5_000,
+    ) {
+        // On a fixed synthetic workload (constant collection cost), a
+        // strictly larger requested GC-I/O fraction never yields a
+        // smaller achieved GC-I/O share.
+        let achieved = |frac: f64| -> f64 {
+            let mut p = SaioPolicy::with_frac(frac);
+            let mut interval = p.initial_trigger().app_io.unwrap();
+            let (mut app_total, mut gc_total) = (0u64, 0u64);
+            for _ in 0..60 {
+                app_total += interval;
+                gc_total += gc_io;
+                let obs = CollectionObservation {
+                    gc_io,
+                    app_io_since_prev: interval,
+                    ..CollectionObservation::zero()
+                };
+                interval = p.after_collection(&obs).app_io.unwrap();
+            }
+            gc_total as f64 / (gc_total + app_total) as f64
+        };
+        let lo = achieved(base);
+        let hi = achieved((base + step).min(0.95));
+        // Integer rounding of intervals can cost at most a hair; the
+        // ordering itself must hold.
+        prop_assert!(
+            hi >= lo - 1e-9,
+            "share at {} = {} < share at {} = {}", base + step, hi, base, lo
+        );
+    }
+
+    #[test]
     fn saga_triggers_respect_clamps(
         frac in 0.0f64..0.9,
         observations in proptest::collection::vec(arb_obs(), 1..50),

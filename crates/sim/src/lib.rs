@@ -23,16 +23,20 @@ pub mod report;
 pub mod runner;
 pub mod series;
 pub mod simulator;
+pub mod telemetry;
 
 pub use config::SimConfig;
 pub use experiment::{run_single, sweep_point, ExperimentOutcome, SweepPoint};
 pub use metrics::RunMetrics;
 pub use runner::{
     default_jobs, CacheStats, CellOutcome, ExperimentPlan, FailurePolicy, FaultKind, FaultSpec,
-    JobError, JobErrorKind, PlanCell, PlanOutcome, TraceCache,
+    JobError, JobErrorKind, PlanCell, PlanOutcome, PlanProgress, TraceCache,
 };
 pub use series::CollectionRecord;
 pub use simulator::{ReplayError, RunResult, SimError, Simulator};
+pub use telemetry::{
+    verify_header, DecisionRecord, Json, JsonError, PhaseTelemetry, PlanTelemetry, RunTelemetry,
+};
 
 pub use odbgc_tracefile::{CorpusKey, CorpusStats, TraceCorpus};
 

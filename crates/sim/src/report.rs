@@ -3,12 +3,17 @@
 use crate::experiment::SweepPoint;
 
 /// Renders rows as an aligned plain-text table.
+///
+/// Column widths are measured in characters, not bytes — `format!`'s
+/// width specifier pads by character count, so byte-measured widths
+/// would misalign any column containing non-ASCII text (µ, ±, …).
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let width_of = |s: &str| s.chars().count();
+    let mut widths: Vec<usize> = headers.iter().map(|h| width_of(h)).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
             if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
+                widths[i] = widths[i].max(width_of(cell));
             }
         }
     }
@@ -108,6 +113,31 @@ mod tests {
         assert!(lines[0].contains("x"));
         assert!(lines[0].contains("value"));
         assert!(lines[2].trim_start().starts_with('1'));
+    }
+
+    #[test]
+    fn table_aligns_non_ascii_headers_by_chars_not_bytes() {
+        // "µs" is 3 bytes but 2 chars; byte-measured widths would pad the
+        // header column wider than its cells and break the alignment.
+        let t = render_table(
+            &["µs", "garbage ±"],
+            &[
+                vec!["1".into(), "10.00".into()],
+                vec!["100".into(), "3.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        let header_width = lines[0].chars().count();
+        for data in &lines[2..] {
+            assert_eq!(
+                data.chars().count(),
+                header_width,
+                "row {data:?} misaligned with header {:?}",
+                lines[0]
+            );
+        }
+        // The rule matches the rendered character width too.
+        assert_eq!(lines[1].chars().count(), header_width);
     }
 
     #[test]

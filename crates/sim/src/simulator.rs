@@ -11,6 +11,7 @@ use odbgc_trace::{Event, Trace};
 use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
 use crate::series::CollectionRecord;
+use crate::telemetry::{DecisionRecord, EventSnapshot, RunTelemetry};
 
 /// A simulation failure: the trace could not be replayed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -180,8 +181,29 @@ impl Simulator {
         let events = trace
             .iter()
             .map(|ev| Ok::<_, Infallible>(Cow::Borrowed(ev)));
-        match self.replay(trace.phase_names(), events, policy) {
+        match self.replay(trace.phase_names(), events, policy, None) {
             Ok(result) => Ok(result),
+            Err(ReplayError::Sim(e)) => Err(e),
+            Err(ReplayError::Source { cause, .. }) => match cause {},
+        }
+    }
+
+    /// Like [`Simulator::run`], additionally recording a
+    /// [`RunTelemetry`]: the per-decision policy log and per-phase
+    /// accounting. The returned [`RunResult`] is identical to what
+    /// [`Simulator::run`] produces for the same inputs — telemetry only
+    /// observes the replay, it never influences it.
+    pub fn run_with_telemetry(
+        &self,
+        trace: &Trace,
+        policy: &mut dyn RatePolicy,
+    ) -> Result<(RunResult, RunTelemetry), SimError> {
+        let mut telemetry = RunTelemetry::new(policy.name());
+        let events = trace
+            .iter()
+            .map(|ev| Ok::<_, Infallible>(Cow::Borrowed(ev)));
+        match self.replay(trace.phase_names(), events, policy, Some(&mut telemetry)) {
+            Ok(result) => Ok((result, telemetry)),
             Err(ReplayError::Sim(e)) => Err(e),
             Err(ReplayError::Source { cause, .. }) => match cause {},
         }
@@ -210,6 +232,7 @@ impl Simulator {
             phase_names,
             events.into_iter().map(|r| r.map(Cow::Owned)),
             policy,
+            None,
         )
     }
 
@@ -221,6 +244,7 @@ impl Simulator {
         phase_names: &[String],
         events: impl Iterator<Item = Result<Cow<'a, Event>, E>>,
         policy: &mut dyn RatePolicy,
+        mut telemetry: Option<&mut RunTelemetry>,
     ) -> Result<RunResult, ReplayError<E>> {
         let mut store = Store::new(self.config.store.clone());
         let mut collector = Collector::new(self.config.selector.build(self.config.selector_seed));
@@ -236,9 +260,6 @@ impl Simulator {
         let mut app_io_base = 0u64;
         let mut clock_base = 0u64;
         let mut alloc_base = 0u64;
-        // Cached database size, refreshed when the partition count moves.
-        let mut cached_partitions = 0usize;
-        let mut cached_db_size = 0u64;
 
         let mut events_replayed = 0u64;
         for (i, ev) in events.enumerate() {
@@ -253,6 +274,9 @@ impl Simulator {
                     .map(String::as_str)
                     .unwrap_or("<unknown>")
                     .to_owned();
+                if let Some(t) = telemetry.as_deref_mut() {
+                    t.enter_phase(&name, snapshot(&store));
+                }
                 phases.push((name, i as u64, records.len() as u64));
             }
             store.apply(ev).map_err(|cause| {
@@ -263,11 +287,16 @@ impl Simulator {
             })?;
             events_replayed += 1;
 
-            if store.partition_count() != cached_partitions {
-                cached_partitions = store.partition_count();
-                cached_db_size = store.db_size_bytes();
+            // `db_size_bytes` is a maintained O(1) counter, so the mean
+            // samples the true size every event — including capacity
+            // changes that leave the partition count unchanged.
+            metrics.sample_event(store.garbage_bytes(), store.db_size_bytes());
+            if self.config.deep_checks {
+                store.assert_counters_match();
             }
-            metrics.sample_event(store.garbage_bytes(), cached_db_size);
+            if let Some(t) = telemetry.as_deref_mut() {
+                t.note_event(snapshot(&store));
+            }
 
             let elapsed = TriggerElapsed::new(
                 store.io().app_total() - app_io_base,
@@ -299,9 +328,6 @@ impl Simulator {
                     alloc_base = store.alloc_clock();
                     continue;
                 };
-                cached_partitions = store.partition_count();
-                cached_db_size = store.db_size_bytes();
-
                 let obs = CollectionObservation {
                     collection_index: records.len() as u64,
                     gc_io: outcome.gc_io(),
@@ -310,7 +336,7 @@ impl Simulator {
                     overwrites_of_collected: outcome.overwrites_at_collection,
                     total_outstanding_overwrites: store.total_outstanding_overwrites(),
                     partition_count: store.partition_count() as u64,
-                    db_size: cached_db_size,
+                    db_size: store.db_size_bytes(),
                     total_collected: store.total_garbage_collected(),
                     overwrite_clock: store.overwrite_clock(),
                     alloc_clock: store.alloc_clock(),
@@ -338,10 +364,23 @@ impl Simulator {
                     store.assert_garbage_exact();
                 }
                 trigger = policy.after_collection(&obs);
+                if let Some(t) = telemetry.as_deref_mut() {
+                    t.note_decision(DecisionRecord {
+                        index: obs.collection_index,
+                        observation: obs,
+                        trigger,
+                        clamp: policy.last_clamp(),
+                        estimated_garbage: estimated,
+                    });
+                }
                 app_io_base = store.io().app_total();
                 clock_base = store.overwrite_clock();
                 alloc_base = store.alloc_clock();
             }
+        }
+
+        if let Some(t) = telemetry {
+            t.finish(snapshot(&store));
         }
 
         Ok(RunResult {
@@ -360,6 +399,17 @@ impl Simulator {
             events_replayed,
             phases,
         })
+    }
+}
+
+/// The cumulative counters telemetry samples after each event.
+fn snapshot(store: &Store) -> EventSnapshot {
+    EventSnapshot {
+        app_io_total: store.io().app_total(),
+        gc_io_total: store.io().gc_total(),
+        overwrite_clock: store.overwrite_clock(),
+        garbage_bytes: store.garbage_bytes(),
+        db_size: store.db_size_bytes(),
     }
 }
 
@@ -538,6 +588,35 @@ mod tests {
         );
         // Too-long preamble yields None.
         assert_eq!(r.windowed_gc_io_pct(r.collection_count()), None);
+    }
+
+    #[test]
+    fn telemetry_run_matches_plain_run_and_counts_decisions() {
+        let trace = tiny_trace(9);
+        let sim = Simulator::new(SimConfig::tiny());
+        let plain = {
+            let mut p = SaioPolicy::with_frac(0.10);
+            sim.run(&trace, &mut p).expect("run")
+        };
+        let (instrumented, telemetry) = {
+            let mut p = SaioPolicy::with_frac(0.10);
+            sim.run_with_telemetry(&trace, &mut p).expect("run")
+        };
+        // The telemetry sink must be a pure observer: identical results.
+        assert_eq!(plain, instrumented);
+        assert_eq!(telemetry.decisions.len() as u64, plain.collection_count());
+        // Phase accounting mirrors the trace's phase markers.
+        let names: Vec<&str> = telemetry.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["GenDB", "Reorg1", "Traverse", "Reorg2"]);
+        // Phase deltas sum to the whole-run totals.
+        let app: u64 = telemetry.phases.iter().map(|p| p.app_io).sum();
+        let gc: u64 = telemetry.phases.iter().map(|p| p.gc_io).sum();
+        let events: u64 = telemetry.phases.iter().map(|p| p.events).sum();
+        assert_eq!(app, plain.app_io_total);
+        assert_eq!(gc, plain.gc_io_total);
+        assert_eq!(events, plain.events_replayed);
+        let collections: u64 = telemetry.phases.iter().map(|p| p.collections).sum();
+        assert_eq!(collections, plain.collection_count());
     }
 
     #[test]

@@ -1,0 +1,1074 @@
+//! Run- and plan-level telemetry with a versioned JSON export.
+//!
+//! The simulator's [`crate::RunResult`] carries the *answers* (achieved
+//! fractions, totals, series); telemetry carries the *explanations*:
+//!
+//! * a **policy decision log** — one [`DecisionRecord`] per trigger
+//!   decision, capturing the [`CollectionObservation`] the policy saw,
+//!   the [`Trigger`] it chose, whether a configured clamp was hit
+//!   ([`ClampHit`]), and the shadow estimator's `ActGarb` error against
+//!   the oracle's `exact_garbage`;
+//! * **per-phase accounting** — application I/O, GC I/O, overwrites,
+//!   collections, and the event-sampled garbage-percentage mean split by
+//!   OO7 phase ([`PhaseTelemetry`]);
+//! * **plan-level telemetry** — per-job wall times, cache/corpus tiers,
+//!   the failure list, and worker-pool utilization ([`PlanTelemetry`]).
+//!
+//! Telemetry is strictly off the hot path: [`crate::Simulator::run`]
+//! records nothing, and `run_with_telemetry` produces a byte-identical
+//! `RunResult` plus the telemetry on the side.
+//!
+//! # Export format
+//!
+//! Everything exports as JSON through the dependency-free [`Json`] value
+//! type. Every document leads with a schema header, versioned like the
+//! binary tracefile format:
+//!
+//! ```json
+//! { "schema": "odbgc-telemetry", "version": 1, "kind": "run", ... }
+//! ```
+//!
+//! Readers must reject documents whose `schema` is unknown or whose
+//! `version` is newer than theirs ([`verify_header`]). Nondeterministic
+//! values (wall times, worker counts, machine load) live exclusively
+//! under keys named `timing` or prefixed `wall_`, so
+//! [`Json::strip_volatile`] yields a byte-identical document for any
+//! worker count — the property `odbgc sweep --telemetry` tests rely on.
+
+use std::time::Duration;
+
+use odbgc_core::{ClampHit, CollectionObservation, Trigger};
+
+use crate::runner::{ExperimentPlan, PlanOutcome};
+
+/// Schema identifier every telemetry document leads with.
+pub const SCHEMA_NAME: &str = "odbgc-telemetry";
+/// Current schema version. Bump on any breaking layout change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------
+// JSON value type (no external dependencies)
+// ---------------------------------------------------------------------
+
+/// A JSON value that round-trips exactly: numbers are kept as their raw
+/// source literal, so `parse` → `to_string` reproduces the input byte
+/// for byte (modulo whitespace normalization).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its canonical literal text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An unsigned-integer number.
+    pub fn u64(n: u64) -> Json {
+        Json::Num(n.to_string())
+    }
+
+    /// A float number. Non-finite values export as `null` (JSON has no
+    /// NaN/Infinity); finite values use Rust's shortest round-trip form.
+    pub fn f64(x: f64) -> Json {
+        if x.is_finite() {
+            Json::Num(format!("{x}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// An optional unsigned integer (`None` → `null`).
+    pub fn opt_u64(n: Option<u64>) -> Json {
+        n.map_or(Json::Null, Json::u64)
+    }
+
+    /// An optional float (`None` → `null`).
+    pub fn opt_f64(x: Option<f64>) -> Json {
+        x.map_or(Json::Null, Json::f64)
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Looks up a key of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, if it is an integer literal.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value's elements, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A copy with every nondeterministic field removed: object entries
+    /// whose key is `timing` or starts with `wall_` are dropped,
+    /// recursively. Two documents describing the same deterministic
+    /// outcome compare equal after stripping, regardless of worker count
+    /// or machine speed.
+    pub fn strip_volatile(&self) -> Json {
+        match self {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .iter()
+                    .filter(|(k, _)| k != "timing" && !k.starts_with("wall_"))
+                    .map(|(k, v)| (k.clone(), v.strip_volatile()))
+                    .collect(),
+            ),
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::strip_volatile).collect()),
+            other => other.clone(),
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document. Numbers keep their source literal, object
+    /// order is preserved, so `to_string_pretty` of the result
+    /// re-emits an equivalent document.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing data after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected {word}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.error(format!("unexpected {:?}", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Validate the token is a real number even though the raw text is
+        // what gets stored.
+        if text.parse::<f64>().is_err() {
+            return Err(self.error(format!("malformed number {text:?}")));
+        }
+        Ok(Json::Num(text.to_owned()))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("malformed \\u escape"))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unmodified).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Checks a parsed document's schema header: `schema` must be
+/// [`SCHEMA_NAME`], `version` must be ≤ [`SCHEMA_VERSION`], and `kind`
+/// must be present. Returns the document's `kind`.
+pub fn verify_header(doc: &Json) -> Result<String, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\" field")?;
+    if schema != SCHEMA_NAME {
+        return Err(format!("unknown schema {schema:?} (want {SCHEMA_NAME:?})"));
+    }
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or("missing \"version\" field")?;
+    if version > SCHEMA_VERSION {
+        return Err(format!(
+            "document version {version} is newer than supported {SCHEMA_VERSION}"
+        ));
+    }
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing \"kind\" field")?;
+    Ok(kind.to_owned())
+}
+
+// ---------------------------------------------------------------------
+// Run telemetry
+// ---------------------------------------------------------------------
+
+/// One policy trigger decision: what the policy saw and what it chose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Decision index (equals the collection index it followed).
+    pub index: u64,
+    /// The observation handed to `after_collection`.
+    pub observation: CollectionObservation,
+    /// The trigger the policy returned.
+    pub trigger: Trigger,
+    /// Whether a configured clamp bounded the decision.
+    pub clamp: ClampHit,
+    /// The shadow estimator's `ActGarb` for this observation, if a
+    /// shadow estimator was configured.
+    pub estimated_garbage: Option<f64>,
+}
+
+impl DecisionRecord {
+    /// Signed estimator error: `estimated − exact_garbage` bytes.
+    pub fn estimate_error(&self) -> Option<f64> {
+        self.estimated_garbage
+            .map(|e| e - self.observation.exact_garbage as f64)
+    }
+
+    fn to_json(&self) -> Json {
+        let o = &self.observation;
+        Json::Obj(vec![
+            ("index".into(), Json::u64(self.index)),
+            ("clamp".into(), Json::str(self.clamp.as_str())),
+            (
+                "trigger".into(),
+                Json::Obj(vec![
+                    ("app_io".into(), Json::opt_u64(self.trigger.app_io)),
+                    ("overwrites".into(), Json::opt_u64(self.trigger.overwrites)),
+                    (
+                        "alloc_bytes".into(),
+                        Json::opt_u64(self.trigger.alloc_bytes),
+                    ),
+                ]),
+            ),
+            (
+                "estimated_garbage".into(),
+                Json::opt_f64(self.estimated_garbage),
+            ),
+            (
+                "estimate_error".into(),
+                Json::opt_f64(self.estimate_error()),
+            ),
+            (
+                "observation".into(),
+                Json::Obj(vec![
+                    ("gc_io".into(), Json::u64(o.gc_io)),
+                    ("app_io_since_prev".into(), Json::u64(o.app_io_since_prev)),
+                    ("bytes_reclaimed".into(), Json::u64(o.bytes_reclaimed)),
+                    (
+                        "overwrites_of_collected".into(),
+                        Json::u64(o.overwrites_of_collected),
+                    ),
+                    (
+                        "total_outstanding_overwrites".into(),
+                        Json::u64(o.total_outstanding_overwrites),
+                    ),
+                    ("partition_count".into(), Json::u64(o.partition_count)),
+                    ("db_size".into(), Json::u64(o.db_size)),
+                    ("total_collected".into(), Json::u64(o.total_collected)),
+                    ("overwrite_clock".into(), Json::u64(o.overwrite_clock)),
+                    ("alloc_clock".into(), Json::u64(o.alloc_clock)),
+                    ("exact_garbage".into(), Json::u64(o.exact_garbage)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Accounting for one workload phase of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTelemetry {
+    /// Phase name from the trace's phase table (`<start>` for events
+    /// preceding the first phase marker).
+    pub name: String,
+    /// Events replayed during the phase (including its marker).
+    pub events: u64,
+    /// Collections performed during the phase.
+    pub collections: u64,
+    /// Application page I/O charged during the phase.
+    pub app_io: u64,
+    /// Collector page I/O charged during the phase.
+    pub gc_io: u64,
+    /// Pointer overwrites during the phase.
+    pub overwrites: u64,
+    /// Event-sampled mean garbage percentage over the phase (every event
+    /// with a nonzero database size samples once; no preamble exclusion,
+    /// unlike the whole-run measured-window mean).
+    pub garbage_pct_mean: Option<f64>,
+}
+
+impl PhaseTelemetry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("events".into(), Json::u64(self.events)),
+            ("collections".into(), Json::u64(self.collections)),
+            ("app_io".into(), Json::u64(self.app_io)),
+            ("gc_io".into(), Json::u64(self.gc_io)),
+            ("overwrites".into(), Json::u64(self.overwrites)),
+            (
+                "garbage_pct_mean".into(),
+                Json::opt_f64(self.garbage_pct_mean),
+            ),
+        ])
+    }
+}
+
+/// Running totals snapshot handed to the telemetry accumulator after
+/// each event (all cumulative since the start of the run).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EventSnapshot {
+    pub app_io_total: u64,
+    pub gc_io_total: u64,
+    pub overwrite_clock: u64,
+    pub garbage_bytes: u64,
+    pub db_size: u64,
+}
+
+/// In-progress accounting for the current phase.
+#[derive(Debug, Clone)]
+struct PhaseAccumulator {
+    name: String,
+    events: u64,
+    collections: u64,
+    app_io_start: u64,
+    gc_io_start: u64,
+    overwrites_start: u64,
+    garbage_pct_sum: f64,
+    garbage_pct_samples: u64,
+}
+
+impl PhaseAccumulator {
+    fn open(name: String, app_io: u64, gc_io: u64, overwrites: u64) -> Self {
+        PhaseAccumulator {
+            name,
+            events: 0,
+            collections: 0,
+            app_io_start: app_io,
+            gc_io_start: gc_io,
+            overwrites_start: overwrites,
+            garbage_pct_sum: 0.0,
+            garbage_pct_samples: 0,
+        }
+    }
+
+    fn close(self, app_io: u64, gc_io: u64, overwrites: u64) -> PhaseTelemetry {
+        PhaseTelemetry {
+            name: self.name,
+            events: self.events,
+            collections: self.collections,
+            app_io: app_io - self.app_io_start,
+            gc_io: gc_io - self.gc_io_start,
+            overwrites: overwrites - self.overwrites_start,
+            garbage_pct_mean: (self.garbage_pct_samples > 0)
+                .then(|| self.garbage_pct_sum / self.garbage_pct_samples as f64),
+        }
+    }
+}
+
+/// Everything one telemetry-enabled run recorded.
+#[derive(Debug, Clone)]
+pub struct RunTelemetry {
+    /// The policy's self-description.
+    pub policy: String,
+    /// One record per trigger decision, in decision order. The length
+    /// equals the run's collection count: no-op re-arms (a due trigger
+    /// before any partition exists) are not decisions.
+    pub decisions: Vec<DecisionRecord>,
+    /// Closed phases, in trace order.
+    pub phases: Vec<PhaseTelemetry>,
+    current: Option<PhaseAccumulator>,
+}
+
+impl RunTelemetry {
+    /// An empty telemetry sink for a run under the named policy. Events
+    /// preceding the first phase marker accrue to an implicit `<start>`
+    /// phase (dropped if it stays empty).
+    pub(crate) fn new(policy: String) -> Self {
+        RunTelemetry {
+            policy,
+            decisions: Vec::new(),
+            phases: Vec::new(),
+            current: Some(PhaseAccumulator::open("<start>".to_owned(), 0, 0, 0)),
+        }
+    }
+
+    /// Closes the current phase and opens `name`.
+    pub(crate) fn enter_phase(&mut self, name: &str, snap: EventSnapshot) {
+        if let Some(acc) = self.current.take() {
+            // The implicit start phase vanishes if nothing happened in it.
+            if !(acc.name == "<start>" && acc.events == 0) {
+                self.phases.push(acc.close(
+                    snap.app_io_total,
+                    snap.gc_io_total,
+                    snap.overwrite_clock,
+                ));
+            }
+        }
+        self.current = Some(PhaseAccumulator::open(
+            name.to_owned(),
+            snap.app_io_total,
+            snap.gc_io_total,
+            snap.overwrite_clock,
+        ));
+    }
+
+    /// Accounts one replayed event to the current phase.
+    pub(crate) fn note_event(&mut self, snap: EventSnapshot) {
+        let acc = self.current.as_mut().expect("telemetry not finished");
+        acc.events += 1;
+        if snap.db_size > 0 {
+            acc.garbage_pct_sum += 100.0 * snap.garbage_bytes as f64 / snap.db_size as f64;
+            acc.garbage_pct_samples += 1;
+        }
+    }
+
+    /// Records one policy decision (one per collection).
+    pub(crate) fn note_decision(&mut self, record: DecisionRecord) {
+        if let Some(acc) = self.current.as_mut() {
+            acc.collections += 1;
+        }
+        self.decisions.push(record);
+    }
+
+    /// Closes the final phase.
+    pub(crate) fn finish(&mut self, snap: EventSnapshot) {
+        if let Some(acc) = self.current.take() {
+            if !(acc.name == "<start>" && acc.events == 0) {
+                self.phases.push(acc.close(
+                    snap.app_io_total,
+                    snap.gc_io_total,
+                    snap.overwrite_clock,
+                ));
+            }
+        }
+    }
+
+    /// How many decisions hit the given clamp.
+    pub fn clamp_count(&self, clamp: ClampHit) -> usize {
+        self.decisions.iter().filter(|d| d.clamp == clamp).count()
+    }
+
+    /// The versioned JSON document (`kind: "run"`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(SCHEMA_NAME)),
+            ("version".into(), Json::u64(SCHEMA_VERSION)),
+            ("kind".into(), Json::str("run")),
+            ("policy".into(), Json::str(&self.policy)),
+            (
+                "decision_count".into(),
+                Json::u64(self.decisions.len() as u64),
+            ),
+            (
+                "clamp_hits".into(),
+                Json::Obj(vec![
+                    (
+                        "min".into(),
+                        Json::u64(self.clamp_count(ClampHit::Min) as u64),
+                    ),
+                    (
+                        "max".into(),
+                        Json::u64(self.clamp_count(ClampHit::Max) as u64),
+                    ),
+                ]),
+            ),
+            (
+                "phases".into(),
+                Json::Arr(self.phases.iter().map(PhaseTelemetry::to_json).collect()),
+            ),
+            (
+                "decisions".into(),
+                Json::Arr(self.decisions.iter().map(DecisionRecord::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan telemetry
+// ---------------------------------------------------------------------
+
+/// Plan-level execution telemetry: what [`crate::runner`] did, job by
+/// job, plus the cache/corpus tiers and pool utilization.
+#[derive(Debug, Clone)]
+pub struct PlanTelemetry {
+    document: Json,
+}
+
+impl PlanTelemetry {
+    /// Builds the telemetry document for one executed plan.
+    ///
+    /// Everything except the `timing` object and `wall_*` keys is
+    /// deterministic for a given plan, regardless of worker count.
+    pub fn from_outcome(plan: &ExperimentPlan, outcome: &PlanOutcome) -> Self {
+        let cells: Vec<Json> = outcome
+            .cells
+            .iter()
+            .map(|cell| {
+                let per_seed: Vec<Json> = cell
+                    .outcome
+                    .runs
+                    .iter()
+                    .zip(&plan.seeds)
+                    .map(|(run, &seed)| match run {
+                        Ok(r) => Json::Obj(vec![
+                            ("seed".into(), Json::u64(seed)),
+                            ("collections".into(), Json::u64(r.collection_count())),
+                            ("gc_io_pct".into(), Json::opt_f64(r.gc_io_pct)),
+                            ("garbage_pct_mean".into(), Json::opt_f64(r.garbage_pct_mean)),
+                            ("app_io_total".into(), Json::u64(r.app_io_total)),
+                            ("gc_io_total".into(), Json::u64(r.gc_io_total)),
+                        ]),
+                        Err(e) => Json::Obj(vec![
+                            ("seed".into(), Json::u64(seed)),
+                            ("error".into(), Json::str(e.kind.to_string())),
+                        ]),
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("x".into(), Json::f64(cell.x)),
+                    ("spec".into(), Json::str(cell.spec.to_string())),
+                    ("runs".into(), Json::Arr(per_seed)),
+                    (
+                        "wall_ms".into(),
+                        Json::Arr(
+                            cell.wall_times
+                                .iter()
+                                .map(|w| Json::u64(w.as_millis() as u64))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+
+        let failures: Vec<Json> = outcome
+            .failures
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("cell_index".into(), Json::u64(f.cell_index as u64)),
+                    ("spec".into(), Json::str(f.spec.to_string())),
+                    ("seed".into(), Json::u64(f.seed)),
+                    ("error".into(), Json::str(f.kind.to_string())),
+                ])
+            })
+            .collect();
+
+        let cache = Json::Obj(vec![
+            ("hits".into(), Json::u64(outcome.cache.hits)),
+            ("misses".into(), Json::u64(outcome.cache.misses)),
+        ]);
+        let corpus = match &outcome.corpus {
+            Some(c) => Json::Obj(vec![
+                ("hits".into(), Json::u64(c.hits)),
+                ("misses".into(), Json::u64(c.misses)),
+                ("generated".into(), Json::u64(c.generated)),
+                (
+                    "wall_load_ms".into(),
+                    Json::u64(c.load_time.as_millis() as u64),
+                ),
+            ]),
+            None => Json::Null,
+        };
+
+        let cpu = outcome.cpu_time();
+        let utilization = if outcome.elapsed > Duration::ZERO && outcome.jobs > 0 {
+            cpu.as_secs_f64() / (outcome.elapsed.as_secs_f64() * outcome.jobs as f64)
+        } else {
+            0.0
+        };
+        let timing = Json::Obj(vec![
+            ("jobs".into(), Json::u64(outcome.jobs as u64)),
+            (
+                "elapsed_ms".into(),
+                Json::u64(outcome.elapsed.as_millis() as u64),
+            ),
+            ("cpu_ms".into(), Json::u64(cpu.as_millis() as u64)),
+            ("utilization".into(), Json::f64(utilization)),
+        ]);
+
+        let document = Json::Obj(vec![
+            ("schema".into(), Json::str(SCHEMA_NAME)),
+            ("version".into(), Json::u64(SCHEMA_VERSION)),
+            ("kind".into(), Json::str("plan")),
+            ("seeds".into(), Json::u64(plan.seeds.len() as u64)),
+            (
+                "jobs_total".into(),
+                Json::u64((plan.cells.len() * plan.seeds.len()) as u64),
+            ),
+            (
+                "failure_count".into(),
+                Json::u64(outcome.failures.len() as u64),
+            ),
+            ("cells".into(), Json::Arr(cells)),
+            ("failures".into(), Json::Arr(failures)),
+            ("cache".into(), cache),
+            ("corpus".into(), corpus),
+            ("timing".into(), timing),
+        ]);
+        PlanTelemetry { document }
+    }
+
+    /// The versioned JSON document (`kind: "plan"`).
+    pub fn to_json(&self) -> &Json {
+        &self.document
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(SCHEMA_NAME)),
+            ("version".into(), Json::u64(SCHEMA_VERSION)),
+            ("kind".into(), Json::str("run")),
+            ("pi".into(), Json::f64(3.25)),
+            ("big".into(), Json::u64(u64::MAX)),
+            ("none".into(), Json::Null),
+            ("ok".into(), Json::Bool(true)),
+            (
+                "arr".into(),
+                Json::Arr(vec![Json::u64(1), Json::str("two\n\"quoted\"")]),
+            ),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+        ])
+    }
+
+    #[test]
+    fn json_round_trips_byte_identically() {
+        let text = doc().to_string_pretty();
+        let parsed = Json::parse(&text).expect("parses");
+        assert_eq!(parsed, doc());
+        assert_eq!(parsed.to_string_pretty(), text);
+    }
+
+    #[test]
+    fn u64_max_survives_round_trip() {
+        // f64 cannot represent u64::MAX; the raw-literal representation
+        // must preserve it exactly.
+        let text = Json::u64(u64::MAX).to_string_pretty();
+        let parsed = Json::parse(&text).expect("parses");
+        assert_eq!(parsed.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn non_finite_floats_export_as_null() {
+        assert_eq!(Json::f64(f64::NAN), Json::Null);
+        assert_eq!(Json::f64(f64::INFINITY), Json::Null);
+        assert_eq!(Json::f64(1.5), Json::Num("1.5".into()));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "nul", "1 2", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let parsed = Json::parse(r#""a\n\t\"\\Aü""#).expect("parses");
+        assert_eq!(parsed.as_str(), Some("a\n\t\"\\Aü"));
+    }
+
+    #[test]
+    fn strip_volatile_removes_timing_and_wall_keys_recursively() {
+        let doc = Json::Obj(vec![
+            ("keep".into(), Json::u64(1)),
+            ("timing".into(), Json::Obj(vec![])),
+            (
+                "cells".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("x".into(), Json::u64(2)),
+                    ("wall_ms".into(), Json::Arr(vec![Json::u64(9)])),
+                ])]),
+            ),
+            (
+                "corpus".into(),
+                Json::Obj(vec![("wall_load_ms".into(), Json::u64(3))]),
+            ),
+        ]);
+        let stripped = doc.strip_volatile();
+        assert_eq!(
+            stripped,
+            Json::Obj(vec![
+                ("keep".into(), Json::u64(1)),
+                (
+                    "cells".into(),
+                    Json::Arr(vec![Json::Obj(vec![("x".into(), Json::u64(2))])]),
+                ),
+                ("corpus".into(), Json::Obj(vec![])),
+            ])
+        );
+    }
+
+    #[test]
+    fn verify_header_enforces_schema_and_version() {
+        assert_eq!(verify_header(&doc()).as_deref(), Ok("run"));
+        let wrong_schema = Json::Obj(vec![
+            ("schema".into(), Json::str("something-else")),
+            ("version".into(), Json::u64(1)),
+            ("kind".into(), Json::str("run")),
+        ]);
+        assert!(verify_header(&wrong_schema).is_err());
+        let future = Json::Obj(vec![
+            ("schema".into(), Json::str(SCHEMA_NAME)),
+            ("version".into(), Json::u64(SCHEMA_VERSION + 1)),
+            ("kind".into(), Json::str("run")),
+        ]);
+        assert!(verify_header(&future)
+            .unwrap_err()
+            .contains("newer than supported"));
+        assert!(verify_header(&Json::Obj(vec![])).is_err());
+    }
+
+    #[test]
+    fn phase_accumulator_reports_deltas_not_totals() {
+        let mut t = RunTelemetry::new("test".into());
+        let snap = |app, gc, ow, garbage, db| EventSnapshot {
+            app_io_total: app,
+            gc_io_total: gc,
+            overwrite_clock: ow,
+            garbage_bytes: garbage,
+            db_size: db,
+        };
+        t.note_event(snap(5, 0, 0, 0, 100)); // pre-marker event → <start>
+        t.enter_phase("A", snap(5, 0, 0, 0, 100));
+        t.note_event(snap(10, 2, 1, 50, 100));
+        t.note_event(snap(20, 2, 3, 25, 100));
+        t.enter_phase("B", snap(20, 2, 3, 25, 100));
+        t.note_event(snap(30, 8, 4, 0, 0)); // zero db size: no sample
+        t.finish(snap(30, 8, 4, 0, 0));
+
+        assert_eq!(t.phases.len(), 3);
+        assert_eq!(t.phases[0].name, "<start>");
+        assert_eq!(t.phases[0].events, 1);
+        let a = &t.phases[1];
+        assert_eq!((a.name.as_str(), a.events, a.collections), ("A", 2, 0));
+        assert_eq!((a.app_io, a.gc_io, a.overwrites), (15, 2, 3));
+        assert_eq!(a.garbage_pct_mean, Some((50.0 + 25.0) / 2.0));
+        let b = &t.phases[2];
+        assert_eq!((b.app_io, b.gc_io, b.overwrites), (10, 6, 1));
+        assert_eq!(b.garbage_pct_mean, None);
+    }
+
+    #[test]
+    fn empty_start_phase_is_dropped() {
+        let mut t = RunTelemetry::new("test".into());
+        let snap = EventSnapshot {
+            app_io_total: 0,
+            gc_io_total: 0,
+            overwrite_clock: 0,
+            garbage_bytes: 0,
+            db_size: 0,
+        };
+        t.enter_phase("First", snap);
+        t.note_event(snap);
+        t.finish(snap);
+        assert_eq!(t.phases.len(), 1);
+        assert_eq!(t.phases[0].name, "First");
+    }
+
+    #[test]
+    fn estimate_error_is_signed() {
+        let rec = DecisionRecord {
+            index: 0,
+            observation: CollectionObservation {
+                exact_garbage: 1_000,
+                ..CollectionObservation::zero()
+            },
+            trigger: Trigger::after_app_io(10),
+            clamp: ClampHit::None,
+            estimated_garbage: Some(750.0),
+        };
+        assert_eq!(rec.estimate_error(), Some(-250.0));
+        let no_shadow = DecisionRecord {
+            estimated_garbage: None,
+            ..rec
+        };
+        assert_eq!(no_shadow.estimate_error(), None);
+    }
+}

@@ -72,6 +72,15 @@ impl Partition {
     pub fn occupied_pages(&self, page_size: u32) -> u32 {
         self.high_water.div_ceil(page_size)
     }
+
+    /// Extends the partition by `extra_pages` pages, returning the number
+    /// of capacity bytes added (so callers can maintain global tallies).
+    pub fn grow(&mut self, extra_pages: u32, page_size: u32) -> u64 {
+        let added = extra_pages * page_size;
+        self.pages += extra_pages;
+        self.capacity += added;
+        u64::from(added)
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +105,17 @@ mod tests {
     fn overfull_append_panics() {
         let mut p = Partition::new(1, 64);
         p.append(65);
+    }
+
+    #[test]
+    fn grow_extends_capacity_in_place() {
+        let mut p = Partition::new(1, 64);
+        p.append(60);
+        assert!(!p.fits(10));
+        assert_eq!(p.grow(2, 64), 128);
+        assert_eq!((p.pages, p.capacity), (3, 192));
+        assert!(p.fits(10));
+        assert_eq!(p.append(10), 60);
     }
 
     #[test]

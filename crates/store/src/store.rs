@@ -73,6 +73,12 @@ pub struct Store {
     live_bytes: u64,
     /// Objects currently present (live + garbage), for O(1) census.
     present_objects: u64,
+    /// Sum of partition capacities (`DBSize`), maintained so the
+    /// simulator can sample it every event without an O(partitions) scan.
+    db_size: u64,
+    /// Sum of outstanding per-partition overwrite counters (`Σ PO(p)`),
+    /// maintained for the same reason.
+    outstanding_overwrites: u64,
 }
 
 impl Store {
@@ -93,6 +99,8 @@ impl Store {
             alloc_clock: 0,
             live_bytes: 0,
             present_objects: 0,
+            db_size: 0,
+            outstanding_overwrites: 0,
         }
     }
 
@@ -275,7 +283,11 @@ impl Store {
             self.check_touchable(*target)?;
         }
 
+        let partitions_before = self.partitions.len();
         let (partition, offset) = alloc::place(&mut self.partitions, &self.config, size);
+        for p in &self.partitions[partitions_before..] {
+            self.db_size += u64::from(p.capacity);
+        }
         let idx = id.raw() as usize;
         if self.objects.len() <= idx {
             self.objects.resize_with(idx + 1, || None);
@@ -365,6 +377,7 @@ impl Store {
                 self.remsets.remove(src, slot, old_partition);
             }
             self.partitions[old_partition.index()].overwrites += 1;
+            self.outstanding_overwrites += 1;
             outcome.garbage_created = self.decr_ref(o);
         }
         Ok(outcome)
@@ -400,9 +413,9 @@ impl Store {
     }
 
     /// Sum of outstanding per-partition overwrite counters (the FGS state
-    /// `Σ PO(p)`).
+    /// `Σ PO(p)`). O(1): maintained incrementally, not scanned.
     pub fn total_outstanding_overwrites(&self) -> u64 {
-        self.partitions.iter().map(|p| p.overwrites).sum()
+        self.outstanding_overwrites
     }
 
     /// Number of allocated partitions.
@@ -411,8 +424,17 @@ impl Store {
     }
 
     /// `DBSize(t)`: allocated storage (sum of partition capacities).
+    /// O(1): maintained incrementally, not scanned.
     pub fn db_size_bytes(&self) -> u64 {
-        self.partitions.iter().map(|p| u64::from(p.capacity)).sum()
+        self.db_size
+    }
+
+    /// Grows partition `p` by `extra_pages` pages of backing storage,
+    /// e.g. to model file-system extension outside object allocation.
+    /// `DBSize` grows accordingly.
+    pub fn grow_partition(&mut self, p: PartitionId, extra_pages: u32) {
+        let added = self.partitions[p.index()].grow(extra_pages, self.config.page_size);
+        self.db_size += added;
     }
 
     /// Bytes occupied by objects (live + garbage).
@@ -749,7 +771,35 @@ impl Store {
                 occupied_total - live_total
             ));
         }
+        self.check_counters()
+    }
+
+    /// Verifies the maintained O(1) counters against fresh O(partitions)
+    /// scans. Cheap enough to run after every event in deep-checked
+    /// simulations.
+    fn check_counters(&self) -> Result<(), String> {
+        let scanned_db: u64 = self.partitions.iter().map(|p| u64::from(p.capacity)).sum();
+        if scanned_db != self.db_size {
+            return Err(format!(
+                "db-size counter {} != capacity scan {scanned_db}",
+                self.db_size
+            ));
+        }
+        let scanned_po: u64 = self.partitions.iter().map(|p| p.overwrites).sum();
+        if scanned_po != self.outstanding_overwrites {
+            return Err(format!(
+                "outstanding-overwrite counter {} != scan {scanned_po}",
+                self.outstanding_overwrites
+            ));
+        }
         Ok(())
+    }
+
+    /// Panicking wrapper around the counter-vs-scan equivalence check.
+    pub fn assert_counters_match(&self) {
+        if let Err(msg) = self.check_counters() {
+            panic!("store counters diverged: {msg}");
+        }
     }
 
     /// Panicking wrapper around [`Store::check_consistency`].
@@ -890,6 +940,7 @@ impl Store {
             part.residents = survivors.to_vec();
             part.overwrites = 0;
             part.collections += 1;
+            self.outstanding_overwrites -= overwrites_at_collection;
         }
         for &s in survivors {
             let size = self.info(s).expect("survivor exists").size;
@@ -1303,5 +1354,63 @@ mod tests {
         replay(&mut s, &b.finish());
         assert_eq!(s.partition_count(), 2);
         assert_eq!(s.db_size_bytes(), 512);
+        s.assert_counters_match();
+    }
+
+    #[test]
+    fn db_size_tracks_capacity_change_without_partition_count_change() {
+        // Regression: the simulator used to cache DBSize and refresh it
+        // only when the *partition count* changed, so an in-place capacity
+        // change was invisible between collections. The store-maintained
+        // counter must observe it immediately.
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        b.create_unlinked(200, 0);
+        replay(&mut s, &b.finish());
+        assert_eq!(s.partition_count(), 1);
+        assert_eq!(s.db_size_bytes(), 256);
+
+        s.grow_partition(PartitionId::new(0), 2);
+        assert_eq!(s.partition_count(), 1); // count unchanged…
+        assert_eq!(s.db_size_bytes(), 384); // …but DBSize grew
+        s.assert_counters_match();
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn maintained_counters_match_scans_through_full_lifecycle() {
+        // Counter == fresh-scan equivalence across create, overwrite,
+        // cascade, collection, and growth.
+        let mut s = tiny();
+        let mut b = TraceBuilder::new();
+        let root = b.create_unlinked(10, 2);
+        b.root_add(root);
+        let filler = b.create_unlinked(240, 0);
+        let far = b.create_unlinked(100, 0);
+        b.slot_write(root, SlotIdx::new(0), Some(filler));
+        b.slot_write(root, SlotIdx::new(1), Some(far));
+        let trace = b.finish();
+        for ev in trace.iter() {
+            s.apply(ev).expect("replay");
+            s.assert_counters_match();
+        }
+
+        s.apply(&Event::SlotWrite {
+            src: root,
+            slot: SlotIdx::new(1),
+            new: None,
+        })
+        .unwrap();
+        s.assert_counters_match();
+        assert_eq!(s.total_outstanding_overwrites(), 1);
+
+        let p_far = s.partition_of(far).unwrap();
+        let outcome = s.apply_collection(p_far, &[]);
+        assert_eq!(outcome.overwrites_at_collection, 1);
+        s.assert_counters_match();
+        assert_eq!(s.total_outstanding_overwrites(), 0);
+
+        s.grow_partition(p_far, 1);
+        s.assert_counters_match();
     }
 }

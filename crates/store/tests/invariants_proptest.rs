@@ -46,6 +46,14 @@ fn check_invariants(store: &Store) {
         );
     }
     assert_eq!(resident_bytes, store.occupied_bytes());
+    // Maintained O(1) counters agree with fresh scans.
+    store.assert_counters_match();
+    let scanned_po: u64 = store
+        .partition_snapshots()
+        .iter()
+        .map(|s| s.overwrites)
+        .sum();
+    assert_eq!(scanned_po, store.total_outstanding_overwrites());
 }
 
 proptest! {
@@ -57,6 +65,8 @@ proptest! {
         let mut store = Store::new(StoreConfig::tiny());
         for ev in trace.iter() {
             store.apply(ev).expect("synthetic traces are valid");
+            // Counter == fresh-scan equivalence after *every* event.
+            store.assert_counters_match();
         }
         check_invariants(&store);
         store.assert_consistent();

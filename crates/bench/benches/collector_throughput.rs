@@ -35,8 +35,8 @@ fn bench_collector(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan_survivors");
     for &n in &[100usize, 1000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let store = loaded_store(n, 0.3);
-            b.iter(|| black_box(plan_survivors(&store, PartitionId::new(0))))
+            let mut store = loaded_store(n, 0.3);
+            b.iter(|| black_box(plan_survivors(&mut store, PartitionId::new(0))))
         });
     }
     group.finish();

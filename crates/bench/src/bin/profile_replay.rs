@@ -1,0 +1,108 @@
+//! Ad-hoc breakdown of oo7 replay cost by event type.
+
+use std::time::Instant;
+
+use odbgc_oo7::{Oo7App, Oo7Params};
+use odbgc_store::{Event, Store, StoreConfig};
+
+fn main() {
+    let (trace, _) = Oo7App::standard(Oo7Params::small_prime(3), 1).generate();
+    println!("events: {}", trace.len());
+    let mut counts = std::collections::HashMap::new();
+    for ev in trace.iter() {
+        *counts.entry(kind(ev)).or_insert(0u64) += 1;
+    }
+    println!("{counts:?}");
+
+    // Warm-up plus total.
+    for _ in 0..3 {
+        let mut store = Store::new(StoreConfig::default());
+        let t = Instant::now();
+        for ev in trace.iter() {
+            store.apply(ev).expect("replay");
+        }
+        println!("total: {:?}", t.elapsed());
+    }
+
+    // Elimination variants: measure cost shares by knocking out one
+    // component at a time.
+    use odbgc_store::AllocPolicy;
+    let variants: Vec<(&str, StoreConfig)> = vec![
+        ("default", StoreConfig::default()),
+        (
+            "huge_buffer",
+            StoreConfig {
+                buffer_pages: 65536,
+                ..StoreConfig::default()
+            },
+        ),
+        (
+            "append_only",
+            StoreConfig {
+                alloc_policy: AllocPolicy::AppendOnly,
+                ..StoreConfig::default()
+            },
+        ),
+        (
+            "page_4k",
+            StoreConfig {
+                page_size: 4096,
+                ..StoreConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        let mut best = u128::MAX;
+        for _ in 0..5 {
+            let mut store = Store::new(cfg.clone());
+            let t = Instant::now();
+            for ev in trace.iter() {
+                store.apply(ev).expect("replay");
+            }
+            best = best.min(t.elapsed().as_nanos());
+        }
+        println!("{name:<12} best {:.3}ms", best as f64 / 1e6);
+    }
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..5 {
+        for ev in trace.iter() {
+            acc += matches!(ev, Event::SlotWrite { .. }) as u64;
+        }
+    }
+    println!(
+        "iter_only    {:.3}ms ({acc})",
+        t.elapsed().as_nanos() as f64 / 5.0 / 1e6
+    );
+    // Per-kind attribution (adds timer overhead; relative shares only).
+    let mut store = Store::new(StoreConfig::default());
+    let mut buckets: std::collections::HashMap<&str, (u64, u128)> = Default::default();
+    for ev in trace.iter() {
+        let t = Instant::now();
+        store.apply(ev).expect("replay");
+        let ns = t.elapsed().as_nanos();
+        let e = buckets.entry(kind(ev)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += ns;
+    }
+    let mut rows: Vec<_> = buckets.into_iter().collect();
+    rows.sort_by_key(|(_, (_, ns))| std::cmp::Reverse(*ns));
+    for (k, (n, ns)) in rows {
+        println!(
+            "{k:<12} n={n:<8} total={:.2}ms avg={}ns",
+            ns as f64 / 1e6,
+            ns / n as u128
+        );
+    }
+}
+
+fn kind(ev: &Event) -> &'static str {
+    match ev {
+        Event::Create { .. } => "Create",
+        Event::SlotWrite { .. } => "SlotWrite",
+        Event::Access { .. } => "Access",
+        Event::RootAdd { .. } => "RootAdd",
+        Event::RootRemove { .. } => "RootRemove",
+        _ => "Other",
+    }
+}

@@ -7,9 +7,16 @@
 //! [`criterion_main!`] entry points.
 //!
 //! Measurement is intentionally simple — a calibrated wall-clock loop
-//! reporting the mean iteration time to stdout. There is no statistical
-//! analysis, HTML report, or baseline comparison; the benches stay
-//! runnable and comparable across commits on the same machine.
+//! split into batches, reporting the lower/median/upper per-iteration
+//! batch means to stdout (the same three-number shape real criterion
+//! prints, so `reports/bench_summary.txt` and the `xtask bench-compare`
+//! tooling parse both). There is no statistical analysis or HTML report;
+//! the benches stay runnable and comparable across commits on the same
+//! machine.
+//!
+//! Passing `--test` (as `cargo bench -- --test` does for smoke-testing
+//! bench code) switches to a minimal measurement budget so every bench
+//! executes at least once without burning CI time.
 
 #![warn(missing_docs)]
 
@@ -68,9 +75,27 @@ impl std::fmt::Display for BenchmarkId {
     }
 }
 
+/// One timed batch: total wall time over `iters` routine calls.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Sample {
+    fn per_iter_ns(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.iters as f64
+        }
+    }
+}
+
 /// Drives the timed iterations of one benchmark.
 pub struct Bencher {
     target: Duration,
+    samples: Vec<Sample>,
     elapsed: Duration,
     iters: u64,
 }
@@ -79,12 +104,20 @@ impl Bencher {
     fn new(target: Duration) -> Self {
         Bencher {
             target,
+            samples: Vec::new(),
             elapsed: Duration::ZERO,
             iters: 0,
         }
     }
 
-    /// Times `routine` over a calibrated number of iterations.
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        self.samples.push(Sample { elapsed, iters });
+        self.elapsed += elapsed;
+        self.iters += iters;
+    }
+
+    /// Times `routine` over a calibrated number of iterations, collecting
+    /// per-batch samples for the lower/median/upper report.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Calibrate: grow the batch until one batch takes ~1/10 of the
         // measurement budget, then measure until the budget is spent.
@@ -96,8 +129,7 @@ impl Bencher {
             }
             let took = start.elapsed();
             if took * 10 >= self.target || batch >= 1 << 20 {
-                self.elapsed += took;
-                self.iters += batch;
+                self.record(took, batch);
                 break;
             }
             batch *= 4;
@@ -107,8 +139,7 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(routine());
             }
-            self.elapsed += start.elapsed();
-            self.iters += batch;
+            self.record(start.elapsed(), batch);
         }
     }
 
@@ -118,34 +149,46 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        while self.elapsed < self.target {
+        while self.elapsed < self.target || self.samples.is_empty() {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            self.elapsed += start.elapsed();
-            self.iters += 1;
+            self.record(start.elapsed(), 1);
         }
     }
 
     fn mean(&self) -> Duration {
-        if self.iters == 0 {
-            Duration::ZERO
-        } else {
-            self.elapsed / self.iters as u32
+        (self.elapsed.as_nanos() as u64)
+            .checked_div(self.iters)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    /// `(lower, median, upper)` of the per-iteration batch means, in
+    /// nanoseconds. With a single batch all three collapse to its mean.
+    fn spread_ns(&self) -> (f64, f64, f64) {
+        let mut per: Vec<f64> = self.samples.iter().map(Sample::per_iter_ns).collect();
+        if per.is_empty() {
+            return (0.0, 0.0, 0.0);
         }
+        per.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = if per.len() % 2 == 1 {
+            per[per.len() / 2]
+        } else {
+            (per[per.len() / 2 - 1] + per[per.len() / 2]) / 2.0
+        };
+        (per[0], median, *per.last().expect("non-empty"))
     }
 }
 
-fn fmt_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
-    if ns < 1_000 {
-        format!("{ns} ns")
-    } else if ns < 1_000_000 {
-        format!("{:.3} µs", ns as f64 / 1_000.0)
-    } else if ns < 1_000_000_000 {
-        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.4} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.4} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.4} ms", ns / 1_000_000.0)
     } else {
-        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+        format!("{:.4} s", ns / 1_000_000_000.0)
     }
 }
 
@@ -197,6 +240,7 @@ impl BenchmarkGroup<'_> {
 
     fn report(&self, id: &str, b: &Bencher) {
         let mean = b.mean();
+        let (lo, med, hi) = b.spread_ns();
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
                 let per_sec = n as f64 / mean.as_secs_f64();
@@ -209,10 +253,12 @@ impl BenchmarkGroup<'_> {
             _ => String::new(),
         };
         println!(
-            "{}/{:<28} time: {:>12}{rate}   ({} iters)",
+            "{}/{:<28} time: [{} {} {}]{rate}   ({} iters)",
             self.name,
             id,
-            fmt_duration(mean),
+            fmt_ns(lo),
+            fmt_ns(med),
+            fmt_ns(hi),
             b.iters
         );
     }
@@ -225,11 +271,14 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // `cargo bench -- --test` asks for a smoke run: execute every
+        // bench once-ish, skip real measurement.
+        let smoke = std::env::args().any(|a| a == "--test");
         let measurement_time = std::env::var("CRITERION_MEASUREMENT_MS")
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .map(Duration::from_millis)
-            .unwrap_or_else(|| Duration::from_millis(300));
+            .unwrap_or_else(|| Duration::from_millis(if smoke { 1 } else { 300 }));
         Criterion { measurement_time }
     }
 }
@@ -248,10 +297,13 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
         let mut b = Bencher::new(self.measurement_time);
         f(&mut b);
+        let (lo, med, hi) = b.spread_ns();
         println!(
-            "{:<36} time: {:>12}   ({} iters)",
+            "{:<36} time: [{} {} {}]   ({} iters)",
             id,
-            fmt_duration(b.mean()),
+            fmt_ns(lo),
+            fmt_ns(med),
+            fmt_ns(hi),
             b.iters
         );
     }
@@ -292,6 +344,8 @@ mod tests {
         });
         assert!(b.iters > 0);
         assert!(b.mean() < Duration::from_millis(5));
+        let (lo, med, hi) = b.spread_ns();
+        assert!(lo <= med && med <= hi);
     }
 
     #[test]
@@ -299,6 +353,16 @@ mod tests {
         let mut b = Bencher::new(Duration::from_millis(2));
         b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
         assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn spread_is_ordered_and_median_is_central() {
+        let mut b = Bencher::new(Duration::ZERO);
+        for (ns, iters) in [(100u64, 1u64), (300, 1), (200, 1)] {
+            b.record(Duration::from_nanos(ns), iters);
+        }
+        let (lo, med, hi) = b.spread_ns();
+        assert_eq!((lo, med, hi), (100.0, 200.0, 300.0));
     }
 
     #[test]

@@ -1,42 +1,74 @@
 //! Breadth-first (Cheney-order) survivor planning for one partition.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use odbgc_store::{ObjectId, PartitionId, Store};
 
-/// Computes the survivors of collecting partition `p`, in Cheney copy
-/// order: a breadth-first traversal from the partition's collection roots
-/// (remembered external references plus resident global roots), following
-/// only pointers that stay inside `p`.
+/// Reusable traversal buffers for survivor planning. Owned by the
+/// [`Collector`](crate::Collector) (one per collector, reused across
+/// collections) so a steady-state collection allocates nothing: the
+/// visited set lives in the store's per-object epoch marks, and the root
+/// list and Cheney scan queue live here.
+#[derive(Debug, Default)]
+pub struct CollectScratch {
+    roots: Vec<ObjectId>,
+    queue: VecDeque<ObjectId>,
+}
+
+impl CollectScratch {
+    /// Empty scratch buffers.
+    pub fn new() -> Self {
+        CollectScratch::default()
+    }
+}
+
+/// Computes the survivors of collecting partition `p` into `survivors`
+/// (cleared first), in Cheney copy order: a breadth-first traversal from
+/// the partition's collection roots (remembered external references plus
+/// resident global roots), following only pointers that stay inside `p`.
 ///
 /// The returned order is the compaction layout order — breadth-first
 /// copying groups parents with their children, which is what gives copying
 /// collection its reclustering benefit (§3.1).
-pub fn plan_survivors(store: &Store, p: PartitionId) -> Vec<ObjectId> {
-    let roots = store.partition_roots(p);
-    let mut survivors = Vec::new();
-    let mut visited: HashSet<ObjectId> = HashSet::new();
-    let mut queue: VecDeque<ObjectId> = VecDeque::new();
-
-    for r in roots {
+///
+/// Visited objects are tracked by marking them in a fresh store visit
+/// epoch ([`Store::begin_visit_epoch`]) — no per-collection hash set.
+pub fn plan_survivors_into(
+    store: &mut Store,
+    p: PartitionId,
+    scratch: &mut CollectScratch,
+    survivors: &mut Vec<ObjectId>,
+) {
+    survivors.clear();
+    let epoch = store.begin_visit_epoch();
+    store.partition_roots_into(p, &mut scratch.roots);
+    scratch.queue.clear();
+    for i in 0..scratch.roots.len() {
+        let r = scratch.roots[i];
         debug_assert_eq!(store.partition_of(r), Ok(p), "root outside partition");
-        if visited.insert(r) {
-            queue.push_back(r);
+        if store.try_mark(r, epoch) {
+            scratch.queue.push_back(r);
             survivors.push(r);
         }
     }
 
     // Cheney scan: survivors double as the scan queue; children are
     // appended as they are discovered.
-    while let Some(cur) = queue.pop_front() {
-        let slots = store.slots_of(cur).expect("resident object");
-        for &target in slots.iter().flatten() {
-            if store.partition_of(target) == Ok(p) && visited.insert(target) {
-                queue.push_back(target);
-                survivors.push(target);
-            }
-        }
+    while let Some(cur) = scratch.queue.pop_front() {
+        let queue = &mut scratch.queue;
+        store.mark_unvisited_children(cur, p, epoch, |target| {
+            queue.push_back(target);
+            survivors.push(target);
+        });
     }
+}
+
+/// Convenience wrapper around [`plan_survivors_into`] allocating fresh
+/// buffers. Tests and one-off callers; the replay loop reuses a
+/// [`CollectScratch`] through the [`Collector`](crate::Collector).
+pub fn plan_survivors(store: &mut Store, p: PartitionId) -> Vec<ObjectId> {
+    let mut survivors = Vec::new();
+    plan_survivors_into(store, p, &mut CollectScratch::new(), &mut survivors);
     survivors
 }
 
@@ -67,7 +99,7 @@ mod tests {
         b.slot_write(a, SlotIdx::new(0), Some(c));
         replay(&mut s, &b.finish());
         let p = s.partition_of(root).unwrap();
-        let plan = plan_survivors(&s, p);
+        let plan = plan_survivors(&mut s, p);
         // Breadth-first: root first, then its children, then grandchildren.
         assert_eq!(plan, vec![root, a, bb, c]);
     }
@@ -83,7 +115,7 @@ mod tests {
         b.slot_clear(root, SlotIdx::new(0));
         replay(&mut s, &b.finish());
         let p = s.partition_of(root).unwrap();
-        assert_eq!(plan_survivors(&s, p), vec![root]);
+        assert_eq!(plan_survivors(&mut s, p), vec![root]);
     }
 
     #[test]
@@ -100,11 +132,11 @@ mod tests {
         let p1 = s.partition_of(far).unwrap();
         assert_ne!(p0, p1);
         // Collecting P0 plans only P0 residents; `far` is not copied.
-        let plan = plan_survivors(&s, p0);
+        let plan = plan_survivors(&mut s, p0);
         assert!(plan.contains(&root));
         assert!(!plan.contains(&far));
         // Collecting P1 sees `far` via the remembered set.
-        assert_eq!(plan_survivors(&s, p1), vec![far]);
+        assert_eq!(plan_survivors(&mut s, p1), vec![far]);
     }
 
     #[test]
@@ -126,7 +158,7 @@ mod tests {
         let p1 = s.partition_of(target).unwrap();
         assert!(!s.is_live(target));
         // holder still physically references target, so target survives P1.
-        assert_eq!(plan_survivors(&s, p1), vec![target]);
+        assert_eq!(plan_survivors(&mut s, p1), vec![target]);
     }
 
     #[test]
@@ -141,7 +173,7 @@ mod tests {
         b.slot_write(root, SlotIdx::new(0), Some(x));
         replay(&mut s, &b.finish());
         let p = s.partition_of(root).unwrap();
-        let plan = plan_survivors(&s, p);
+        let plan = plan_survivors(&mut s, p);
         assert_eq!(plan.len(), 3);
         assert!(plan.contains(&x) && plan.contains(&y));
     }
@@ -152,7 +184,7 @@ mod tests {
         replay(&mut s, &odbgc_trace::synthetic::detached_cycle(30));
         let anchor = odbgc_trace::ObjectId::new(0);
         let p = s.partition_of(anchor).unwrap();
-        assert_eq!(plan_survivors(&s, p), vec![anchor]);
+        assert_eq!(plan_survivors(&mut s, p), vec![anchor]);
     }
 
     #[test]
@@ -167,6 +199,27 @@ mod tests {
         // partition with only garbage.
         let ev = Event::RootRemove { id: a };
         s.apply(&ev).unwrap();
-        assert_eq!(plan_survivors(&s, p), Vec::<ObjectId>::new());
+        assert_eq!(plan_survivors(&mut s, p), Vec::<ObjectId>::new());
+    }
+
+    #[test]
+    fn scratch_reuse_across_collections_matches_fresh_buffers() {
+        let mut s = Store::new(StoreConfig::tiny());
+        let mut b = TraceBuilder::new();
+        let root = b.create_unlinked(20, 3);
+        b.root_add(root);
+        let a = b.create_unlinked(20, 1);
+        let c = b.create_unlinked(20, 0);
+        b.slot_write(root, SlotIdx::new(0), Some(a));
+        b.slot_write(a, SlotIdx::new(0), Some(c));
+        replay(&mut s, &b.finish());
+        let p = s.partition_of(root).unwrap();
+
+        let mut scratch = CollectScratch::new();
+        let mut survivors = Vec::new();
+        for _ in 0..3 {
+            plan_survivors_into(&mut s, p, &mut scratch, &mut survivors);
+            assert_eq!(survivors, plan_survivors(&mut s, p));
+        }
     }
 }

@@ -2,7 +2,9 @@
 
 use odbgc_store::{CollectionApplied, PartitionId, Store};
 
-use crate::cheney::plan_survivors;
+use odbgc_store::ObjectId;
+
+use crate::cheney::{plan_survivors, CollectScratch};
 use crate::selection::PartitionSelector;
 
 /// Collects one specific partition: plans survivors by Cheney traversal
@@ -35,9 +37,15 @@ pub fn collect_partition(store: &mut Store, p: PartitionId) -> CollectionApplied
 }
 
 /// A collector bound to a partition-selection policy.
+///
+/// Owns the reusable planning buffers ([`CollectScratch`] plus the
+/// survivor list), so steady-state collections through
+/// [`Collector::collect_once`] allocate nothing.
 pub struct Collector {
     selector: Box<dyn PartitionSelector>,
     collections: u64,
+    scratch: CollectScratch,
+    survivors: Vec<ObjectId>,
 }
 
 impl std::fmt::Debug for Collector {
@@ -55,6 +63,8 @@ impl Collector {
         Collector {
             selector,
             collections: 0,
+            scratch: CollectScratch::new(),
+            survivors: Vec::new(),
         }
     }
 
@@ -64,7 +74,8 @@ impl Collector {
         let snapshots = store.partition_snapshots();
         let p = self.selector.select(&snapshots)?;
         self.collections += 1;
-        Some(collect_partition(store, p))
+        crate::cheney::plan_survivors_into(store, p, &mut self.scratch, &mut self.survivors);
+        Some(store.apply_collection(p, &self.survivors))
     }
 
     /// Total collections performed by this collector.

@@ -21,7 +21,7 @@ pub mod cheney;
 pub mod collector;
 pub mod selection;
 
-pub use cheney::plan_survivors;
+pub use cheney::{plan_survivors, plan_survivors_into, CollectScratch};
 pub use collector::{collect_partition, Collector};
 pub use selection::{
     MostGarbageOracle, PartitionSelector, RandomSelector, RoundRobinSelector, SelectorKind,

@@ -31,9 +31,9 @@ proptest! {
 
     #[test]
     fn survivor_plans_are_well_formed(cfg in arb_config(), seed in any::<u64>()) {
-        let store = loaded_store(&cfg, seed);
+        let mut store = loaded_store(&cfg, seed);
         for snap in store.partition_snapshots() {
-            let plan = plan_survivors(&store, snap.id);
+            let plan = plan_survivors(&mut store, snap.id);
             // No duplicates.
             let mut sorted = plan.clone();
             sorted.sort_unstable();
@@ -59,7 +59,7 @@ proptest! {
         for p in 0..store.partition_count() as u32 {
             collect_partition(&mut store, PartitionId::new(p));
         }
-        for id in reachable_before {
+        for id in reachable_before.iter() {
             prop_assert!(store.is_present(id), "{} was reachable but destroyed", id);
         }
         store.assert_consistent();

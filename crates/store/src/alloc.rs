@@ -11,17 +11,41 @@ use crate::partition::Partition;
 /// Chooses a partition and offset for a new object of `size` bytes,
 /// appending a partition if necessary. Objects larger than a regular
 /// partition get a dedicated, larger partition sized in whole pages.
+///
+/// Two accelerations keep steady-state allocation cheap without changing
+/// where anything lands:
+///
+/// - `free` is a dense mirror of each partition's free bytes, kept in
+///   lockstep with `partitions` (here on append, by the store after a
+///   collection or grow). First-fit scans this flat `u32` array instead
+///   of striding over the much larger `Partition` structs.
+/// - `cursor` marks the first partition that might have free space:
+///   everything below it has zero free bytes and can never fit an
+///   object, so the scan starts there. The scan advances the cursor past
+///   exhausted partitions; the store rewinds it whenever a collection or
+///   a partition grow frees space below it.
 pub fn place(
     partitions: &mut Vec<Partition>,
+    free: &mut Vec<u32>,
     config: &StoreConfig,
+    cursor: &mut usize,
     size: u32,
 ) -> (PartitionId, u32) {
     debug_assert!(size >= 1);
+    debug_assert_eq!(free.len(), partitions.len(), "free cache out of sync");
     match config.alloc_policy {
         AllocPolicy::FirstFit => {
-            for (i, p) in partitions.iter_mut().enumerate() {
-                if p.fits(size) {
-                    let offset = p.append(size);
+            for i in *cursor..free.len() {
+                let f = free[i];
+                if f == 0 {
+                    if i == *cursor {
+                        *cursor += 1;
+                    }
+                    continue;
+                }
+                if size <= f {
+                    let offset = partitions[i].append(size);
+                    free[i] = f - size;
                     return (PartitionId::new(i as u32), offset);
                 }
             }
@@ -30,6 +54,7 @@ pub fn place(
             if let Some(p) = partitions.last_mut() {
                 if p.fits(size) {
                     let offset = p.append(size);
+                    *free.last_mut().expect("cache mirrors partitions") = p.free_bytes();
                     return (PartitionId::new(partitions.len() as u32 - 1), offset);
                 }
             }
@@ -41,6 +66,7 @@ pub fn place(
         .max(size.div_ceil(config.page_size));
     let mut fresh = Partition::new(pages, config.page_size);
     let offset = fresh.append(size);
+    free.push(fresh.free_bytes());
     partitions.push(fresh);
     (PartitionId::new(partitions.len() as u32 - 1), offset)
 }
@@ -57,10 +83,12 @@ mod tests {
     fn first_fit_fills_earliest_partition() {
         let cfg = cfg();
         let mut parts = Vec::new();
-        let (p0, o0) = place(&mut parts, &cfg, 100);
-        let (p1, o1) = place(&mut parts, &cfg, 100);
-        let (p2, o2) = place(&mut parts, &cfg, 100); // 300 > 256: new partition
-        let (p3, o3) = place(&mut parts, &cfg, 56); // fits back in partition 0
+        let mut free = Vec::new();
+        let mut cursor = 0;
+        let (p0, o0) = place(&mut parts, &mut free, &cfg, &mut cursor, 100);
+        let (p1, o1) = place(&mut parts, &mut free, &cfg, &mut cursor, 100);
+        let (p2, o2) = place(&mut parts, &mut free, &cfg, &mut cursor, 100); // 300 > 256: new partition
+        let (p3, o3) = place(&mut parts, &mut free, &cfg, &mut cursor, 56); // fits back in partition 0
         assert_eq!((p0.raw(), o0), (0, 0));
         assert_eq!((p1.raw(), o1), (0, 100));
         assert_eq!((p2.raw(), o2), (1, 0));
@@ -75,9 +103,11 @@ mod tests {
             ..cfg()
         };
         let mut parts = Vec::new();
-        place(&mut parts, &cfg, 100);
-        place(&mut parts, &cfg, 200); // forces partition 1
-        let (p, _) = place(&mut parts, &cfg, 56); // would fit in 0; goes to 1
+        let mut free = Vec::new();
+        let mut cursor = 0;
+        place(&mut parts, &mut free, &cfg, &mut cursor, 100);
+        place(&mut parts, &mut free, &cfg, &mut cursor, 200); // forces partition 1
+        let (p, _) = place(&mut parts, &mut free, &cfg, &mut cursor, 56); // would fit in 0; goes to 1
         assert_eq!(p.raw(), 1);
         assert_eq!(parts.len(), 2);
     }
@@ -86,12 +116,14 @@ mod tests {
     fn oversized_objects_get_dedicated_partition() {
         let cfg = cfg();
         let mut parts = Vec::new();
-        let (p, o) = place(&mut parts, &cfg, 1000); // > 256 bytes
+        let mut free = Vec::new();
+        let mut cursor = 0;
+        let (p, o) = place(&mut parts, &mut free, &cfg, &mut cursor, 1000); // > 256 bytes
         assert_eq!((p.raw(), o), (0, 0));
         assert_eq!(parts[0].pages, 16); // ceil(1000/64)
         assert_eq!(parts[0].capacity, 1024);
         // Tail space of the big partition is reusable under first-fit.
-        let (p2, o2) = place(&mut parts, &cfg, 24);
+        let (p2, o2) = place(&mut parts, &mut free, &cfg, &mut cursor, 24);
         assert_eq!((p2.raw(), o2), (0, 1000));
     }
 
@@ -99,10 +131,12 @@ mod tests {
     fn exact_fit_boundary() {
         let cfg = cfg();
         let mut parts = Vec::new();
-        place(&mut parts, &cfg, 256);
+        let mut free = Vec::new();
+        let mut cursor = 0;
+        place(&mut parts, &mut free, &cfg, &mut cursor, 256);
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].free_bytes(), 0);
-        let (p, _) = place(&mut parts, &cfg, 1);
+        let (p, _) = place(&mut parts, &mut free, &cfg, &mut cursor, 1);
         assert_eq!(p.raw(), 1);
     }
 }

@@ -44,6 +44,6 @@ pub use error::StoreError;
 pub use gcapi::{CollectionApplied, PartitionSnapshot};
 pub use ids::{PageKey, PartitionId};
 pub use io::{IoClass, IoLedger, IoSnapshot};
-pub use store::Store;
+pub use store::{ApplyOutcome, ReachSet, Store};
 
 pub use odbgc_trace::{Event, ObjectId, SlotIdx};

@@ -4,6 +4,34 @@ use odbgc_trace::ObjectId;
 
 use crate::ids::PartitionId;
 
+/// A pointer slot packed into 8 bytes. `Option<ObjectId>` is 16 bytes
+/// (a raw `u64` id has no niche), which doubles the slot arena's memory
+/// traffic for no information: ids are dense indexes into the object
+/// table, so `u64::MAX` can never be a real id and serves as the null
+/// encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PackedSlot(u64);
+
+impl PackedSlot {
+    const NONE: u64 = u64::MAX;
+
+    #[inline]
+    pub(crate) fn pack(v: Option<ObjectId>) -> Self {
+        match v {
+            Some(id) => {
+                debug_assert_ne!(id.raw(), Self::NONE, "id collides with the null sentinel");
+                PackedSlot(id.raw())
+            }
+            None => PackedSlot(Self::NONE),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(self) -> Option<ObjectId> {
+        (self.0 != Self::NONE).then(|| ObjectId::new(self.0))
+    }
+}
+
 /// Logical liveness state of an object, as maintained by the exact garbage
 /// tracker and the collector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,8 +53,10 @@ pub struct ObjectInfo {
     pub partition: PartitionId,
     /// Byte offset of the object within its partition.
     pub offset: u32,
-    /// Pointer slots. `None` = null pointer.
-    pub slots: Box<[Option<ObjectId>]>,
+    /// Start of this object's pointer slots in the store's slot arena.
+    pub slots_start: u32,
+    /// Number of pointer slots.
+    pub slots_len: u32,
     /// Incoming references from live holders plus root pins plus the birth
     /// pin. Maintained by the garbage tracker; an object whose count
     /// reaches zero is garbage.
@@ -42,26 +72,44 @@ pub struct ObjectInfo {
     /// partition; it is dropped — replaced by the incoming reference —
     /// the first time the object is referenced.
     pub birth_pin: bool,
+    /// The visit epoch this object was last marked in (see
+    /// [`Store::begin_visit_epoch`](crate::Store::begin_visit_epoch)).
+    /// `0` means "never marked": epochs handed out by the store start
+    /// at 1. This replaces per-traversal `HashSet` visited sets — a
+    /// traversal marks an object by writing the current epoch here, and
+    /// "already visited" is a single integer compare.
+    pub mark_epoch: u32,
 }
 
 impl ObjectInfo {
-    /// A fresh live object.
+    /// A fresh live object whose slots occupy
+    /// `slots_start..slots_start + slots_len` of the store's slot arena.
     pub fn new(
         size: u32,
         partition: PartitionId,
         offset: u32,
-        slots: Box<[Option<ObjectId>]>,
+        slots_start: u32,
+        slots_len: u32,
     ) -> Self {
         ObjectInfo {
             size,
             partition,
             offset,
-            slots,
+            slots_start,
+            slots_len,
             refcount: 1, // the birth pin
             state: ObjState::Live,
             is_root: false,
             birth_pin: true,
+            mark_epoch: 0,
         }
+    }
+
+    /// This object's slot range in the store's slot arena.
+    #[inline]
+    pub fn slot_range(&self) -> std::ops::Range<usize> {
+        let start = self.slots_start as usize;
+        start..start + self.slots_len as usize
     }
 
     /// Reachable per the tracker.
@@ -91,18 +139,18 @@ mod tests {
 
     #[test]
     fn fresh_object_is_live_unrooted_and_birth_pinned() {
-        let o = ObjectInfo::new(64, PartitionId::new(0), 0, Box::new([None, None]));
+        let o = ObjectInfo::new(64, PartitionId::new(0), 0, 0, 2);
         assert!(o.is_live());
         assert!(o.is_present());
         assert!(!o.is_root);
         assert!(o.birth_pin);
         assert_eq!(o.refcount, 1);
-        assert_eq!(o.slots.len(), 2);
+        assert_eq!(o.slot_range(), 0..2);
     }
 
     #[test]
     fn state_predicates() {
-        let mut o = ObjectInfo::new(8, PartitionId::new(1), 16, Box::new([]));
+        let mut o = ObjectInfo::new(8, PartitionId::new(1), 16, 4, 0);
         o.state = ObjState::Garbage;
         assert!(o.is_garbage() && o.is_present() && !o.is_live());
         o.state = ObjState::Destroyed;

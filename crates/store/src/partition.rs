@@ -26,6 +26,18 @@ pub struct Partition {
     /// Includes garbage until it is collected; never includes destroyed
     /// objects.
     pub residents: Vec<ObjectId>,
+    /// Ids registered as global roots whose object resides here. Mirrors
+    /// the store's root set restricted to this partition — including ids
+    /// whose object has since been destroyed, matching the legacy
+    /// behavior where `partition_roots` consulted the full root set.
+    /// Maintained on root add/remove; collections leave it alone (roots
+    /// always survive).
+    pub root_residents: Vec<ObjectId>,
+    /// Resident objects currently holding a birth pin. Maintained on
+    /// create, on first incoming reference (pin drop), and on collection
+    /// (doomed objects lose their pin). Lets `partition_roots` skip the
+    /// full resident scan.
+    pub pinned_residents: Vec<ObjectId>,
     /// Pointer overwrites whose old target lived in this partition since
     /// the partition was last collected (the FGS state; also drives the
     /// UPDATEDPOINTER selection policy).
@@ -44,6 +56,8 @@ impl Partition {
             live_bytes: 0,
             garbage_bytes: 0,
             residents: Vec::new(),
+            root_residents: Vec::new(),
+            pinned_residents: Vec::new(),
             overwrites: 0,
             collections: 0,
         }

@@ -9,8 +9,16 @@
 //! cannot know a remote holder is garbage. This is the standard
 //! conservatism of partitioned GC: garbage chains that cross partitions are
 //! reclaimed only once the referencing partition is collected first.
-
-use std::collections::HashMap;
+//!
+//! Remset maintenance sits on the per-event hot path (every pointer write
+//! may insert or remove an entry), so the storage is a hand-rolled
+//! open-addressing table with an FxHash-style multiplicative hasher
+//! instead of `HashMap`'s SipHash: no per-operation allocation, no
+//! cryptographic mixing, cache-friendly linear probing. The observable
+//! behavior (insert/remove/external_targets/entry_count/retain_targets)
+//! is identical to the previous `HashMap<RemEntry, ObjectId>`-backed
+//! implementation; `crates/store/tests/remset_differential.rs` proves it
+//! against a `HashMap` oracle under random operation sequences.
 
 use odbgc_trace::{ObjectId, SlotIdx};
 
@@ -26,12 +34,147 @@ pub struct RemEntry {
     pub slot: SlotIdx,
 }
 
+/// FxHash-style mixer for the (src, slot) key: xor-fold the two words,
+/// then one multiply by a random odd constant and a high-bit fold. Not
+/// DoS-resistant — irrelevant here, keys are simulator-generated ids —
+/// but 1–2 ns instead of SipHash's ~20.
+#[inline]
+fn hash_key(src: u64, slot: u32) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = (src.rotate_left(5) ^ u64::from(slot)).wrapping_mul(K);
+    h ^= h >> 32;
+    h
+}
+
+/// Control-byte states for the open-addressing table.
+const EMPTY: u8 = 0;
+const FULL: u8 = 1;
+const TOMBSTONE: u8 = 2;
+
+/// Open-addressing (linear probing, tombstone deletion) map from
+/// `(src, slot)` to the remembered target.
+///
+/// Invariants: `ctrl`, `keys`, and `vals` always have identical length,
+/// a power of two; `len` counts FULL slots; `used` counts FULL +
+/// TOMBSTONE slots and triggers a rehash (which drops tombstones) when
+/// it exceeds 7/8 of capacity.
+#[derive(Debug, Default)]
+struct RemTable {
+    ctrl: Vec<u8>,
+    keys: Vec<(u64, u32)>,
+    vals: Vec<ObjectId>,
+    len: usize,
+    used: usize,
+}
+
+impl RemTable {
+    const MIN_CAPACITY: usize = 8;
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.ctrl.len() - 1
+    }
+
+    /// Index of the key if present, else the slot where an insert should
+    /// land (first tombstone on the probe path, or the empty slot).
+    #[inline]
+    fn probe(&self, key: (u64, u32)) -> (Option<usize>, usize) {
+        debug_assert!(!self.ctrl.is_empty());
+        let mask = self.mask();
+        let mut i = hash_key(key.0, key.1) as usize & mask;
+        let mut insert_at = usize::MAX;
+        loop {
+            match self.ctrl[i] {
+                EMPTY => {
+                    let at = if insert_at == usize::MAX {
+                        i
+                    } else {
+                        insert_at
+                    };
+                    return (None, at);
+                }
+                FULL if self.keys[i] == key => return (Some(i), i),
+                TOMBSTONE if insert_at == usize::MAX => insert_at = i,
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.ctrl.len() * 2).max(Self::MIN_CAPACITY);
+        let old_ctrl = std::mem::replace(&mut self.ctrl, vec![EMPTY; new_cap]);
+        let old_keys = std::mem::replace(&mut self.keys, vec![(0, 0); new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![ObjectId::new(0); new_cap]);
+        self.used = self.len;
+        let mask = new_cap - 1;
+        for (i, &c) in old_ctrl.iter().enumerate() {
+            if c != FULL {
+                continue;
+            }
+            let key = old_keys[i];
+            let mut j = hash_key(key.0, key.1) as usize & mask;
+            while self.ctrl[j] == FULL {
+                j = (j + 1) & mask;
+            }
+            self.ctrl[j] = FULL;
+            self.keys[j] = key;
+            self.vals[j] = old_vals[i];
+        }
+    }
+
+    fn insert(&mut self, key: (u64, u32), val: ObjectId) {
+        if self.ctrl.is_empty() || (self.used + 1) * 8 > self.ctrl.len() * 7 {
+            self.grow();
+        }
+        let (found, at) = self.probe(key);
+        if found.is_some() {
+            self.vals[at] = val;
+            return;
+        }
+        if self.ctrl[at] == EMPTY {
+            self.used += 1;
+        }
+        self.ctrl[at] = FULL;
+        self.keys[at] = key;
+        self.vals[at] = val;
+        self.len += 1;
+    }
+
+    fn remove(&mut self, key: (u64, u32)) {
+        if self.ctrl.is_empty() {
+            return;
+        }
+        if let (Some(i), _) = self.probe(key) {
+            self.ctrl[i] = TOMBSTONE;
+            self.len -= 1;
+        }
+    }
+
+    fn retain_vals(&mut self, mut pred: impl FnMut(ObjectId) -> bool) {
+        for i in 0..self.ctrl.len() {
+            if self.ctrl[i] == FULL && !pred(self.vals[i]) {
+                self.ctrl[i] = TOMBSTONE;
+                self.len -= 1;
+            }
+        }
+    }
+
+    fn values_into(&self, out: &mut Vec<ObjectId>) {
+        for (i, &c) in self.ctrl.iter().enumerate() {
+            if c == FULL {
+                out.push(self.vals[i]);
+            }
+        }
+    }
+}
+
 /// Remembered sets for all partitions.
 #[derive(Debug, Default)]
 pub struct RemSets {
     /// `sets[p]` maps (src, slot) → target for every cross-partition
     /// pointer into partition `p`.
-    sets: Vec<HashMap<RemEntry, ObjectId>>,
+    sets: Vec<RemTable>,
 }
 
 impl RemSets {
@@ -40,9 +183,9 @@ impl RemSets {
         RemSets::default()
     }
 
-    fn ensure(&mut self, p: PartitionId) -> &mut HashMap<RemEntry, ObjectId> {
+    fn ensure(&mut self, p: PartitionId) -> &mut RemTable {
         if self.sets.len() <= p.index() {
-            self.sets.resize_with(p.index() + 1, HashMap::new);
+            self.sets.resize_with(p.index() + 1, RemTable::default);
         }
         &mut self.sets[p.index()]
     }
@@ -62,48 +205,55 @@ impl RemSets {
             return;
         }
         self.ensure(target_partition)
-            .insert(RemEntry { src, slot }, target);
+            .insert((src.raw(), slot.raw()), target);
     }
 
     /// Removes the remembered entry for `src.slots[slot]` pointing into
     /// `target_partition`, if present.
     pub fn remove(&mut self, src: ObjectId, slot: SlotIdx, target_partition: PartitionId) {
         if let Some(set) = self.sets.get_mut(target_partition.index()) {
-            set.remove(&RemEntry { src, slot });
+            set.remove((src.raw(), slot.raw()));
         }
     }
 
     /// The distinct target objects referenced into `p` from outside — the
     /// external component of `p`'s collection roots.
     pub fn external_targets(&self, p: PartitionId) -> Vec<ObjectId> {
-        match self.sets.get(p.index()) {
-            Some(set) => {
-                let mut v: Vec<ObjectId> = set.values().copied().collect();
-                v.sort_unstable();
-                v.dedup();
-                v
-            }
-            None => Vec::new(),
+        let mut v = Vec::new();
+        self.external_targets_into(p, &mut v);
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Allocation-free variant of [`RemSets::external_targets`]: appends
+    /// the raw remembered targets into `out` *without* sorting or
+    /// deduplication (one push per entry, so an object referenced from
+    /// several slots appears several times). Callers building a root set
+    /// sort and dedup the whole buffer once at the end.
+    pub fn external_targets_into(&self, p: PartitionId, out: &mut Vec<ObjectId>) {
+        if let Some(set) = self.sets.get(p.index()) {
+            set.values_into(out);
         }
     }
 
     /// Number of remembered entries into `p`.
     pub fn entry_count(&self, p: PartitionId) -> usize {
-        self.sets.get(p.index()).map_or(0, HashMap::len)
+        self.sets.get(p.index()).map_or(0, |t| t.len)
     }
 
     /// Drops every entry into `p` whose target satisfies `pred`. Used after
     /// a collection to forget references to destroyed objects.
-    pub fn retain_targets(&mut self, p: PartitionId, mut pred: impl FnMut(ObjectId) -> bool) {
+    pub fn retain_targets(&mut self, p: PartitionId, pred: impl FnMut(ObjectId) -> bool) {
         if let Some(set) = self.sets.get_mut(p.index()) {
-            set.retain(|_, target| pred(*target));
+            set.retain_vals(pred);
         }
     }
 
     /// Total remembered entries across all partitions (space-overhead
     /// metric).
     pub fn total_entries(&self) -> usize {
-        self.sets.iter().map(HashMap::len).sum()
+        self.sets.iter().map(|t| t.len).sum()
     }
 }
 
@@ -173,5 +323,36 @@ mod tests {
         let mut rs = RemSets::new();
         rs.remove(oid(1), s(0), pid(7));
         assert_eq!(rs.entry_count(pid(7)), 0);
+    }
+
+    #[test]
+    fn reinsert_overwrites_target() {
+        let mut rs = RemSets::new();
+        rs.insert(oid(1), s(0), pid(0), oid(9), pid(1));
+        rs.insert(oid(1), s(0), pid(0), oid(8), pid(1));
+        assert_eq!(rs.entry_count(pid(1)), 1);
+        assert_eq!(rs.external_targets(pid(1)), vec![oid(8)]);
+    }
+
+    #[test]
+    fn table_survives_growth_and_tombstone_churn() {
+        let mut rs = RemSets::new();
+        // Enough inserts to force several rehashes, interleaved with
+        // removals so tombstones accumulate on probe paths.
+        for round in 0..4u64 {
+            for i in 0..200u64 {
+                rs.insert(oid(i), s(round as u32), pid(0), oid(1000 + i), pid(1));
+            }
+            for i in (0..200u64).step_by(2) {
+                rs.remove(oid(i), s(round as u32), pid(1));
+            }
+        }
+        assert_eq!(rs.entry_count(pid(1)), 4 * 100);
+        let targets = rs.external_targets(pid(1));
+        let expected: Vec<ObjectId> = (0..200u64)
+            .filter(|i| i % 2 == 1)
+            .map(|i| oid(1000 + i))
+            .collect();
+        assert_eq!(targets, expected);
     }
 }

@@ -88,7 +88,7 @@ proptest! {
             store.apply(ev).expect("valid");
         }
         let reachable = store.compute_reachable();
-        for &id in &reachable {
+        for id in reachable.iter() {
             assert!(store.is_live(id), "reachable {id} must be tracked live");
         }
     }

@@ -1,0 +1,145 @@
+//! Differential property test: the hand-rolled open-addressing remset
+//! table behaves identically to the `HashMap`-backed implementation it
+//! replaced.
+//!
+//! The oracle is a literal `HashMap<(src, slot), target>` per partition —
+//! the exact data structure the previous implementation used. Random
+//! operation sequences (insert / remove / retain, with key collisions and
+//! re-insertions on purpose) are applied to both, and every observable
+//! query (`external_targets`, `entry_count`, `total_entries`) must agree
+//! after each step.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use odbgc_store::remset::RemSets;
+use odbgc_store::PartitionId;
+use odbgc_trace::{ObjectId, SlotIdx};
+
+/// The previous implementation, reconstructed as an oracle.
+#[derive(Default)]
+struct OracleRemSets {
+    sets: Vec<HashMap<(u64, u32), ObjectId>>,
+}
+
+impl OracleRemSets {
+    fn ensure(&mut self, p: PartitionId) -> &mut HashMap<(u64, u32), ObjectId> {
+        if self.sets.len() <= p.index() {
+            self.sets.resize_with(p.index() + 1, HashMap::new);
+        }
+        &mut self.sets[p.index()]
+    }
+
+    fn insert(
+        &mut self,
+        src: ObjectId,
+        slot: SlotIdx,
+        src_partition: PartitionId,
+        target: ObjectId,
+        target_partition: PartitionId,
+    ) {
+        if src_partition == target_partition {
+            return;
+        }
+        self.ensure(target_partition)
+            .insert((src.raw(), slot.raw()), target);
+    }
+
+    fn remove(&mut self, src: ObjectId, slot: SlotIdx, target_partition: PartitionId) {
+        if let Some(set) = self.sets.get_mut(target_partition.index()) {
+            set.remove(&(src.raw(), slot.raw()));
+        }
+    }
+
+    fn external_targets(&self, p: PartitionId) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self
+            .sets
+            .get(p.index())
+            .map(|s| s.values().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn entry_count(&self, p: PartitionId) -> usize {
+        self.sets.get(p.index()).map_or(0, HashMap::len)
+    }
+
+    fn retain_targets(&mut self, p: PartitionId, mut pred: impl FnMut(ObjectId) -> bool) {
+        if let Some(set) = self.sets.get_mut(p.index()) {
+            set.retain(|_, &mut t| pred(t));
+        }
+    }
+
+    fn total_entries(&self) -> usize {
+        self.sets.iter().map(HashMap::len).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// insert(src, slot, src_p, target, target_p)
+    Insert(u64, u32, u32, u64, u32),
+    /// remove(src, slot, target_p)
+    Remove(u64, u32, u32),
+    /// retain_targets(p, |t| t.raw() % modulus != 0)
+    Retain(u32, u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Small key ranges on purpose: collisions, overwrites, and removes of
+    // present keys must actually happen to exercise tombstone reuse.
+    prop_oneof![
+        (0u64..40, 0u32..6, 0u32..4, 0u64..40, 0u32..4)
+            .prop_map(|(s, sl, sp, t, tp)| Op::Insert(s, sl, sp, t, tp)),
+        (0u64..40, 0u32..6, 0u32..4).prop_map(|(s, sl, tp)| Op::Remove(s, sl, tp)),
+        (0u32..4, 2u64..5).prop_map(|(p, m)| Op::Retain(p, m)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn open_addressing_table_matches_hashmap_oracle(ops in proptest::collection::vec(arb_op(), 1..400)) {
+        let mut real = RemSets::new();
+        let mut oracle = OracleRemSets::default();
+        for op in &ops {
+            match *op {
+                Op::Insert(src, slot, sp, target, tp) => {
+                    real.insert(
+                        ObjectId::new(src),
+                        SlotIdx::new(slot),
+                        PartitionId::new(sp),
+                        ObjectId::new(target),
+                        PartitionId::new(tp),
+                    );
+                    oracle.insert(
+                        ObjectId::new(src),
+                        SlotIdx::new(slot),
+                        PartitionId::new(sp),
+                        ObjectId::new(target),
+                        PartitionId::new(tp),
+                    );
+                }
+                Op::Remove(src, slot, tp) => {
+                    real.remove(ObjectId::new(src), SlotIdx::new(slot), PartitionId::new(tp));
+                    oracle.remove(ObjectId::new(src), SlotIdx::new(slot), PartitionId::new(tp));
+                }
+                Op::Retain(p, m) => {
+                    real.retain_targets(PartitionId::new(p), |t| t.raw() % m != 0);
+                    oracle.retain_targets(PartitionId::new(p), |t| t.raw() % m != 0);
+                }
+            }
+            // Every observable query agrees after every operation.
+            prop_assert_eq!(real.total_entries(), oracle.total_entries());
+            for p in 0..4u32 {
+                let p = PartitionId::new(p);
+                prop_assert_eq!(real.entry_count(p), oracle.entry_count(p));
+                prop_assert_eq!(real.external_targets(p), oracle.external_targets(p));
+            }
+        }
+    }
+}

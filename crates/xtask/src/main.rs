@@ -1,0 +1,217 @@
+//! Repository automation tasks (`cargo run -p xtask -- <task>`).
+//!
+//! `bench-compare` runs the criterion micro-benchmark suite, compares
+//! each benchmark's median against the checked-in machine-local baseline
+//! in `reports/bench_summary.txt`, writes the comparison to
+//! `BENCH_5.json`, and rewrites the baseline with the fresh numbers.
+//! No dependencies: the criterion shim's output format is fixed
+//! (`{name} time: [{lo} {med} {hi}] ...`), so a hand-rolled parser is
+//! enough.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("bench-compare") => bench_compare(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- bench-compare");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// A benchmark line: name plus lower/median/upper estimates in ns.
+struct Sample {
+    name: String,
+    lo_ns: f64,
+    med_ns: f64,
+    hi_ns: f64,
+}
+
+fn bench_compare() {
+    let root = repo_root();
+    let summary_path = root.join("reports/bench_summary.txt");
+    let json_path = root.join("BENCH_5.json");
+
+    let old = std::fs::read_to_string(&summary_path)
+        .map(|s| parse_samples(&s))
+        .unwrap_or_default();
+
+    eprintln!("running: cargo bench -p odbgc-bench");
+    let out = Command::new("cargo")
+        .args(["bench", "-p", "odbgc-bench"])
+        .current_dir(&root)
+        .stderr(Stdio::inherit())
+        .output()
+        .expect("failed to launch cargo bench");
+    if !out.status.success() {
+        eprintln!("cargo bench failed: {}", out.status);
+        std::process::exit(1);
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let new = parse_samples(&stdout);
+    if new.is_empty() {
+        eprintln!("no benchmark lines found in cargo bench output");
+        std::process::exit(1);
+    }
+
+    // Comparison table on stdout, machine-readable copy in BENCH_5.json.
+    let mut json = String::from("[\n");
+    println!(
+        "{:<40} {:>12} {:>12} {:>8}",
+        "benchmark", "old median", "new median", "speedup"
+    );
+    for (i, s) in new.iter().enumerate() {
+        let old_med = old.iter().find(|o| o.name == s.name).map(|o| o.med_ns);
+        let speedup = old_med.map(|o| o / s.med_ns);
+        println!(
+            "{:<40} {:>12} {:>12} {:>8}",
+            s.name,
+            old_med.map_or_else(|| "-".into(), fmt_time),
+            fmt_time(s.med_ns),
+            speedup.map_or_else(|| "-".into(), |x| format!("{x:.2}x")),
+        );
+        let _ = writeln!(
+            json,
+            "  {{\"name\": \"{}\", \"old_median_ns\": {}, \"new_median_ns\": {:.1}, \"speedup\": {}}}{}",
+            s.name,
+            old_med.map_or_else(|| "null".into(), |o| format!("{o:.1}")),
+            s.med_ns,
+            speedup.map_or_else(|| "null".into(), |x| format!("{x:.4}")),
+            if i + 1 == new.len() { "" } else { "," },
+        );
+    }
+    json.push_str("]\n");
+    std::fs::write(&json_path, json).expect("write BENCH_5.json");
+
+    let mut summary = String::from(
+        "Criterion micro-benchmark summary (lower/median/upper)\n\
+         machine-local baseline, regenerate with: cargo run -p xtask -- bench-compare\n",
+    );
+    for s in &new {
+        let _ = writeln!(
+            summary,
+            "{:<40} [{} {} {}]",
+            s.name,
+            fmt_time(s.lo_ns),
+            fmt_time(s.med_ns),
+            fmt_time(s.hi_ns),
+        );
+    }
+    std::fs::write(&summary_path, summary).expect("write bench_summary.txt");
+    eprintln!(
+        "wrote {} and {}",
+        json_path.display(),
+        summary_path.display()
+    );
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the repo root")
+        .to_path_buf()
+}
+
+/// Parses both the live `cargo bench` output
+/// (`name time: [lo u med u hi u] ...`) and the checked-in summary
+/// (`name [lo u med u hi u]`).
+fn parse_samples(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(open) = line.find('[') else { continue };
+        let Some(close) = line[open..].find(']') else {
+            continue;
+        };
+        let name = line[..open].trim_end().trim_end_matches("time:").trim_end();
+        if name.is_empty() || !name.contains('/') {
+            continue;
+        }
+        let inner: Vec<&str> = line[open + 1..open + close].split_whitespace().collect();
+        if inner.len() != 6 {
+            continue;
+        }
+        let (Some(lo), Some(med), Some(hi)) = (
+            to_ns(inner[0], inner[1]),
+            to_ns(inner[2], inner[3]),
+            to_ns(inner[4], inner[5]),
+        ) else {
+            continue;
+        };
+        out.push(Sample {
+            name: name.to_string(),
+            lo_ns: lo,
+            med_ns: med,
+            hi_ns: hi,
+        });
+    }
+    out
+}
+
+fn to_ns(value: &str, unit: &str) -> Option<f64> {
+    let v: f64 = value.parse().ok()?;
+    let scale = match unit {
+        "ns" => 1.0,
+        "µs" | "us" => 1e3,
+        "ms" => 1e6,
+        "s" => 1e9,
+        _ => return None,
+    };
+    Some(v * scale)
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.4} ns")
+    } else if ns < 1e6 {
+        format!("{:.4} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.4} ms", ns / 1e6)
+    } else {
+        format!("{:.4} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bench_output_and_summary_lines() {
+        let live = "oo7_replay/small_prime_conn3            time: [5.4615 ms 5.8916 ms 8.2349 ms]  (16613439 elem/s)   (512 iters)";
+        let s = parse_samples(live);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].name, "oo7_replay/small_prime_conn3");
+        assert_eq!(s[0].med_ns, 5.8916e6);
+
+        let summary = "plan_survivors/100                       [3.2902 µs 3.5955 µs 4.4215 µs]";
+        let s = parse_samples(summary);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].name, "plan_survivors/100");
+        assert_eq!(s[0].lo_ns, 3290.2);
+        assert_eq!(s[0].hi_ns, 4421.5);
+    }
+
+    #[test]
+    fn ignores_prose_and_malformed_lines() {
+        let text = "Criterion micro-benchmark summary (lower/median/upper)\n\
+                    running 3 tests [ok]\n\
+                    group/bench [1.0 zs 2.0 zs 3.0 zs]\n";
+        assert!(parse_samples(text).is_empty());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(to_ns("2", "ns"), Some(2.0));
+        assert_eq!(to_ns("2", "µs"), Some(2000.0));
+        assert_eq!(to_ns("2", "ms"), Some(2e6));
+        assert_eq!(to_ns("2", "s"), Some(2e9));
+        assert_eq!(to_ns("2", "parsecs"), None);
+        assert_eq!(fmt_time(5.8916e6), "5.8916 ms");
+        assert_eq!(fmt_time(123.4), "123.4000 ns");
+    }
+}

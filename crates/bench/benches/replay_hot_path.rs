@@ -1,14 +1,14 @@
 //! Guards the telemetry layer's zero-cost-when-off contract: replaying a
-//! trace through `Simulator::run` (telemetry disabled) must not regress
-//! when the instrumented `run_with_telemetry` path exists, and the
+//! trace with telemetry disabled must not regress
+//! when the instrumented telemetry path exists, and the
 //! instrumented path's overhead is measured alongside it for comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use odbgc_core::SaioPolicy;
+use odbgc_core::{RatePolicy, SaioPolicy};
 use odbgc_oo7::{Oo7App, Oo7Params};
-use odbgc_sim::{SimConfig, Simulator};
+use odbgc_sim::{ReplayOptions, RunTelemetry, SimConfig, Simulator};
 use odbgc_trace::Trace;
 
 fn bench_trace() -> Trace {
@@ -22,17 +22,25 @@ fn bench_replay(c: &mut Criterion) {
     c.bench_function("replay_hot_path/telemetry_off", |b| {
         b.iter(|| {
             let mut policy = SaioPolicy::with_frac(0.10);
-            black_box(sim.run(black_box(&trace), &mut policy).expect("run"))
+            black_box(
+                sim.replay(black_box(&trace), &mut policy, ReplayOptions::new())
+                    .expect("run"),
+            )
         })
     });
 
     c.bench_function("replay_hot_path/telemetry_on", |b| {
         b.iter(|| {
             let mut policy = SaioPolicy::with_frac(0.10);
-            black_box(
-                sim.run_with_telemetry(black_box(&trace), &mut policy)
-                    .expect("run"),
-            )
+            let mut telemetry = RunTelemetry::new(policy.name());
+            let result = sim
+                .replay(
+                    black_box(&trace),
+                    &mut policy,
+                    ReplayOptions::new().telemetry(&mut telemetry),
+                )
+                .expect("run");
+            black_box((result, telemetry))
         })
     });
 }

@@ -34,7 +34,7 @@ fn simulate(
     policy: &mut dyn odbgc_sim::core_policies::RatePolicy,
 ) -> RunResult {
     Simulator::new(scale.sim_config())
-        .run(trace, policy)
+        .replay(trace, policy, odbgc_sim::ReplayOptions::new())
         .expect("mixed trace replays cleanly")
 }
 

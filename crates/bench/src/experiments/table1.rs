@@ -49,7 +49,7 @@ pub fn report(scale: Scale) -> String {
             ..SimConfig::default()
         };
         let result = Simulator::new(config)
-            .run(&trace, &mut policy)
+            .replay(&trace, &mut policy, odbgc_sim::ReplayOptions::new())
             .expect("trace replays");
         census_rows.push(vec![
             conn.to_string(),

@@ -3,6 +3,7 @@
 pub mod generate;
 pub mod info;
 pub mod run;
+pub mod serve_bench;
 pub mod sweep;
 pub mod telemetry;
 pub mod trace;

@@ -1,7 +1,7 @@
 //! `odbgc run` — simulate one policy over a trace.
 
 use odbgc_oo7::Oo7App;
-use odbgc_sim::{run_single, SimConfig, Simulator};
+use odbgc_sim::{run_single, ReplayOptions, RunTelemetry, SimConfig, Simulator};
 
 use crate::commands::load_trace;
 use crate::flags::Flags;
@@ -56,8 +56,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some(path) => {
             // The instrumented path produces the exact same RunResult;
             // the telemetry sink is a pure observer (see sim tests).
-            let (result, telemetry) = Simulator::new(config.clone())
-                .run_with_telemetry(&trace, policy.as_mut())
+            let mut telemetry = RunTelemetry::new(policy.name());
+            let result = Simulator::new(config.clone())
+                .replay(
+                    &trace,
+                    policy.as_mut(),
+                    ReplayOptions::new().telemetry(&mut telemetry),
+                )
+                .map_err(odbgc_sim::ReplayError::into_sim)
                 .map_err(|e| CliError(format!("simulation failed: {e}")))?;
             let json = telemetry.to_json().to_string_pretty();
             std::fs::write(path, json)

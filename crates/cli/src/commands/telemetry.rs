@@ -90,13 +90,18 @@ mod tests {
 
     #[test]
     fn verify_accepts_a_real_run_export() {
-        use odbgc_sim::core_policies::SaioPolicy;
+        use odbgc_sim::core_policies::{RatePolicy, SaioPolicy};
         use odbgc_sim::oo7::{Oo7App, Oo7Params};
         use odbgc_sim::{SimConfig, Simulator};
         let trace = Oo7App::standard(Oo7Params::tiny(), 21).generate().0;
         let mut policy = SaioPolicy::with_frac(0.10);
-        let (_, telemetry) = Simulator::new(SimConfig::tiny())
-            .run_with_telemetry(&trace, &mut policy)
+        let mut telemetry = odbgc_sim::RunTelemetry::new(policy.name());
+        Simulator::new(SimConfig::tiny())
+            .replay(
+                &trace,
+                &mut policy,
+                odbgc_sim::ReplayOptions::new().telemetry(&mut telemetry),
+            )
             .unwrap();
         let path = temp_file("run-ok.json", &telemetry.to_json().to_string_pretty());
         let out = run(&argv(&format!("verify --file {}", path.display()))).unwrap();

@@ -63,6 +63,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "generate" => commands::generate::run(rest),
         "info" => commands::info::run(rest),
         "run" => commands::run::run(rest),
+        "serve-bench" => commands::serve_bench::run(rest),
         "sweep" => commands::sweep::run(rest),
         "telemetry" => commands::telemetry::run(rest),
         "trace" => commands::trace::run(rest),
@@ -86,6 +87,9 @@ USAGE:
                  [--selector updated-pointer|random|round-robin|most-garbage]
                  [--series <csv>] [--preamble N] [--store paper|tiny]
                  [--telemetry <json>]
+  odbgc serve-bench --policy <spec> [--sessions N] [--shards N] [--ops N]
+                 [--batch N] [--sched-seed N] [--seed N] [--store tiny|paper]
+                 [--telemetry <json>]
   odbgc sweep    --policy saio|saga[:estimator] --points a,b,c [--seeds A..B]
                  [--conn N] [--csv <file>] [--jobs N] [--corpus <dir>]
                  [--telemetry <json>] [--progress N]
@@ -107,6 +111,13 @@ POLICY SPECS:
 Sweeps run cell × seed on --jobs worker threads (or ODBGC_JOBS; default:
 all cores). Results are independent of the worker count.
 Everything is deterministic in --seed (default 1).
+
+serve-bench drives N live sessions (default 4) against engines sharded
+by partition group (default 2 shards), collections on a background GC
+worker, interleaved by a scheduler seeded with --sched-seed — the same
+seed always reproduces the same schedule and per-shard results. With
+--telemetry it writes one run document per shard from the live decision
+log.
 
 --telemetry writes a versioned JSON document (policy decision log and
 per-phase accounting for `run`; per-job wall times, cache tiers, and the

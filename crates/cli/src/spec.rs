@@ -22,7 +22,7 @@ pub fn parse_estimator(tok: &str) -> Result<EstimatorKind, CliError> {
 
 /// Builds a rate policy from a spec string (see crate docs for the
 /// grammar).
-pub fn build_policy(spec: &str) -> Result<Box<dyn RatePolicy>, CliError> {
+pub fn build_policy(spec: &str) -> Result<Box<dyn RatePolicy + Send>, CliError> {
     Ok(parse_policy(spec)?.build())
 }
 

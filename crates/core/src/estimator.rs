@@ -37,7 +37,7 @@ pub enum EstimatorKind {
 
 impl EstimatorKind {
     /// Instantiates the estimator.
-    pub fn build(self) -> Box<dyn GarbageEstimator> {
+    pub fn build(self) -> Box<dyn GarbageEstimator + Send> {
         match self {
             EstimatorKind::Oracle => Box::new(crate::estimators::oracle::Oracle),
             EstimatorKind::CgsCb => Box::new(crate::estimators::cgs_cb::CgsCb),

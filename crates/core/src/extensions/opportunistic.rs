@@ -29,7 +29,7 @@ impl Default for OpportunisticConfig {
 
 /// Wraps any rate policy with an opportunistic quiescence bound.
 pub struct OpportunisticPolicy {
-    inner: Box<dyn RatePolicy>,
+    inner: Box<dyn RatePolicy + Send>,
     config: OpportunisticConfig,
 }
 
@@ -44,7 +44,7 @@ impl std::fmt::Debug for OpportunisticPolicy {
 
 impl OpportunisticPolicy {
     /// Wraps `inner` with the quiescence bound in `config`.
-    pub fn new(inner: Box<dyn RatePolicy>, config: OpportunisticConfig) -> Self {
+    pub fn new(inner: Box<dyn RatePolicy + Send>, config: OpportunisticConfig) -> Self {
         assert!(config.quiescence_io >= 1);
         OpportunisticPolicy { inner, config }
     }

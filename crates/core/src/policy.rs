@@ -229,6 +229,42 @@ pub trait RatePolicy {
     }
 }
 
+impl<P: RatePolicy + ?Sized> RatePolicy for &mut P {
+    fn initial_trigger(&mut self) -> Trigger {
+        (**self).initial_trigger()
+    }
+
+    fn after_collection(&mut self, obs: &CollectionObservation) -> Trigger {
+        (**self).after_collection(obs)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn last_clamp(&self) -> ClampHit {
+        (**self).last_clamp()
+    }
+}
+
+impl<P: RatePolicy + ?Sized> RatePolicy for Box<P> {
+    fn initial_trigger(&mut self) -> Trigger {
+        (**self).initial_trigger()
+    }
+
+    fn after_collection(&mut self, obs: &CollectionObservation) -> Trigger {
+        (**self).after_collection(obs)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn last_clamp(&self) -> ClampHit {
+        (**self).last_clamp()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

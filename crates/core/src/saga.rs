@@ -85,7 +85,7 @@ impl SagaConfig {
 pub struct SagaPolicy {
     config: SagaConfig,
     slope: WeightedSlope,
-    estimator: Box<dyn GarbageEstimator>,
+    estimator: Box<dyn GarbageEstimator + Send>,
     /// Whether the last `Δt` computation hit `dt_min` or `dt_max`.
     last_clamp: ClampHit,
 }
@@ -101,7 +101,7 @@ impl std::fmt::Debug for SagaPolicy {
 
 impl SagaPolicy {
     /// A policy with the given configuration and garbage estimator.
-    pub fn new(config: SagaConfig, estimator: Box<dyn GarbageEstimator>) -> Self {
+    pub fn new(config: SagaConfig, estimator: Box<dyn GarbageEstimator + Send>) -> Self {
         config.validate();
         SagaPolicy {
             slope: WeightedSlope::new(config.weight),

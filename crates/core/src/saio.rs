@@ -91,6 +91,9 @@ pub struct SaioPolicy {
     /// Observed (app_io, gc_io) intervals, newest at the back, trimmed to
     /// the history limit.
     intervals: VecDeque<(u64, u64)>,
+    /// Running totals over `intervals`, maintained on push/pop so each
+    /// decision is O(1) in the history length instead of a re-fold.
+    hist_sums: (u64, u64),
     /// Whether the last computed interval hit a configured clamp.
     last_clamp: ClampHit,
 }
@@ -102,6 +105,7 @@ impl SaioPolicy {
         SaioPolicy {
             config,
             intervals: VecDeque::new(),
+            hist_sums: (0, 0),
             last_clamp: ClampHit::None,
         }
     }
@@ -117,9 +121,27 @@ impl SaioPolicy {
     }
 
     fn history_sums(&self) -> (u64, u64) {
-        self.intervals
-            .iter()
-            .fold((0, 0), |(a, g), &(app, gc)| (a + app, g + gc))
+        debug_assert_eq!(
+            self.hist_sums,
+            self.intervals
+                .iter()
+                .fold((0, 0), |(a, g), &(app, gc)| (a + app, g + gc)),
+            "running history sums out of sync with the interval window"
+        );
+        self.hist_sums
+    }
+
+    fn push_interval(&mut self, app: u64, gc: u64) {
+        self.intervals.push_back((app, gc));
+        self.hist_sums.0 += app;
+        self.hist_sums.1 += gc;
+    }
+
+    fn pop_interval(&mut self) {
+        if let Some((app, gc)) = self.intervals.pop_front() {
+            self.hist_sums.0 -= app;
+            self.hist_sums.1 -= gc;
+        }
     }
 }
 
@@ -134,13 +156,13 @@ impl RatePolicy for SaioPolicy {
         // (ΔGCIO = CurrGCIO) drives the next interval.
         if let Some(limit) = self.config.history.limit() {
             while self.intervals.len() >= limit.max(1) {
-                self.intervals.pop_front();
+                self.pop_interval();
             }
             if limit > 0 {
-                self.intervals.push_back((obs.app_io_since_prev, obs.gc_io));
+                self.push_interval(obs.app_io_since_prev, obs.gc_io);
             }
         } else {
-            self.intervals.push_back((obs.app_io_since_prev, obs.gc_io));
+            self.push_interval(obs.app_io_since_prev, obs.gc_io);
         }
 
         let (app_hist, gc_hist) = self.history_sums();

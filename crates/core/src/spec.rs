@@ -157,7 +157,7 @@ impl PolicySpec {
     /// Specs constructed through [`FromStr`] are already validated; specs
     /// built in code with out-of-range values panic here, exactly like
     /// constructing the underlying policy directly.
-    pub fn build(&self) -> Box<dyn RatePolicy> {
+    pub fn build(&self) -> Box<dyn RatePolicy + Send> {
         match self {
             PolicySpec::Fixed { rate } => Box::new(FixedRatePolicy::new(*rate)),
             PolicySpec::Allocation { bytes } => Box::new(AllocationRatePolicy::new(*bytes)),

@@ -1,0 +1,89 @@
+//! Everything one run — replayed or live — produced.
+
+use crate::series::CollectionRecord;
+
+/// Everything one run produced.
+///
+/// A "run" is any complete drive of a [`crate::StoreEngine`]: a trace
+/// replay, a serve-mode shard's lifetime, or a hand-driven session
+/// script. The fields are identical in meaning across all of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Per-collection series.
+    pub collections: Vec<CollectionRecord>,
+    /// Event-sampled mean garbage percentage over the measured window.
+    pub garbage_pct_mean: Option<f64>,
+    /// GC share of I/O over the measured window, percent.
+    pub gc_io_pct: Option<f64>,
+    /// Total application page I/O.
+    pub app_io_total: u64,
+    /// Total collector page I/O.
+    pub gc_io_total: u64,
+    /// `TotGarb` at end of run (bytes).
+    pub total_garbage_generated: u64,
+    /// `TotColl` at end of run (bytes).
+    pub total_garbage_collected: u64,
+    /// Allocated storage at end of run (bytes).
+    pub final_db_size: u64,
+    /// Live bytes at end of run.
+    pub final_live_bytes: u64,
+    /// Garbage bytes remaining at end of run.
+    pub final_garbage_bytes: u64,
+    /// Partitions allocated by end of run.
+    pub partition_count: u64,
+    /// Total pointer overwrites replayed.
+    pub overwrite_clock: u64,
+    /// Events replayed (the whole trace on success).
+    pub events_replayed: u64,
+    /// `(phase name, event index, collections done at phase start)`.
+    pub phases: Vec<(String, u64, u64)>,
+}
+
+impl RunResult {
+    /// Total I/O operations (application + collector).
+    pub fn total_io(&self) -> u64 {
+        self.app_io_total + self.gc_io_total
+    }
+
+    /// GC share of I/O over the whole run (not window-restricted).
+    pub fn gc_io_pct_whole_run(&self) -> f64 {
+        if self.total_io() == 0 {
+            0.0
+        } else {
+            100.0 * self.gc_io_total as f64 / self.total_io() as f64
+        }
+    }
+
+    /// Number of collections performed.
+    pub fn collection_count(&self) -> u64 {
+        self.collections.len() as u64
+    }
+
+    /// GC share of I/O computed post hoc from the collection series,
+    /// excluding the first `preamble` collections. Unlike
+    /// [`RunResult::gc_io_pct`], this works for any preamble ≤ the number
+    /// of collections, so sweeps whose extreme settings produce few
+    /// collections can shorten the preamble (the paper's preambles range
+    /// from 10 to 30 "depending on the simulation parameters").
+    pub fn windowed_gc_io_pct(&self, preamble: u64) -> Option<f64> {
+        if (self.collections.len() as u64) <= preamble {
+            return None;
+        }
+        let skip_app: u64 = self
+            .collections
+            .iter()
+            .take(preamble as usize)
+            .map(|r| r.app_io_since_prev)
+            .sum();
+        let skip_gc: u64 = self
+            .collections
+            .iter()
+            .take(preamble as usize)
+            .map(|r| r.gc_io)
+            .sum();
+        let app = self.app_io_total - skip_app;
+        let gc = self.gc_io_total - skip_gc;
+        let total = app + gc;
+        (total > 0).then(|| 100.0 * gc as f64 / total as f64)
+    }
+}

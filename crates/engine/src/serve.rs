@@ -1,0 +1,503 @@
+//! In-process multi-session serve mode.
+//!
+//! N sessions submit operations concurrently against a set of engine
+//! shards (each shard owns one store, collector, and policy). A single
+//! scheduler thread interleaves sessions under a seeded RNG — so a given
+//! `(scheduler_seed, workload seed)` pair always produces the same
+//! operation interleaving — while due collections run on a background
+//! GC worker thread between operation batches, driven by the same
+//! trigger state and live counters the inline mode uses.
+//!
+//! [`serve_replay`] is the degenerate configuration — one shard, one
+//! session, batch size one — used to prove the serve path is faithful:
+//! it produces a [`RunResult`] byte-identical to the simulator's inline
+//! replay of the same trace.
+
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+
+use odbgc_core::RatePolicy;
+use odbgc_trace::{Event, ObjectId, SlotIdx, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::EngineConfig;
+use crate::engine::{CollectMode, StoreEngine};
+use crate::observer::{DecisionLog, DecisionRecord};
+use crate::result::RunResult;
+use crate::session::{OpError, Session, SessionId};
+
+/// Parameters of the synthetic mutator workload each session runs.
+///
+/// Sessions build small object graphs: rooted *anchor* objects whose
+/// pointer slots are linked to freshly created children, relinked
+/// (overwriting the old pointer, creating garbage), cleared, and
+/// navigated. Session `i` draws from an RNG seeded `seed + i`, so the
+/// whole workload is a pure function of the configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadParams {
+    /// Size of each rooted anchor object, bytes.
+    pub anchor_size: u32,
+    /// Pointer slots per anchor.
+    pub anchor_slots: u32,
+    /// Size of each linked child object, bytes.
+    pub child_size: u32,
+    /// Base RNG seed; session `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            anchor_size: 64,
+            anchor_slots: 4,
+            child_size: 48,
+            seed: 0xD15EA5E,
+        }
+    }
+}
+
+/// Configuration of one serve run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Per-shard engine configuration.
+    pub engine: EngineConfig,
+    /// Number of client sessions.
+    pub sessions: u32,
+    /// Number of engine shards. Session `i` maps to shard
+    /// `i % shards`.
+    pub shards: u32,
+    /// Operations each session submits over its lifetime.
+    pub ops_per_session: u64,
+    /// Maximum operations one scheduled turn applies (clamped to ≥ 2 so
+    /// composite create-and-link actions stay atomic within a turn).
+    pub batch: u64,
+    /// Seed of the scheduler's session-picking RNG.
+    pub scheduler_seed: u64,
+    /// The synthetic workload sessions run.
+    pub workload: WorkloadParams,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            engine: EngineConfig::default(),
+            sessions: 4,
+            shards: 2,
+            ops_per_session: 2_000,
+            batch: 8,
+            scheduler_seed: 42,
+            workload: WorkloadParams::default(),
+        }
+    }
+}
+
+/// A session operation failed during a serve run.
+#[derive(Debug)]
+pub struct ServeError {
+    /// The shard the failing session was mapped to.
+    pub shard: usize,
+    /// The failing operation.
+    pub op: OpError,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {}: {}", self.shard, self.op)
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.op)
+    }
+}
+
+/// A trace event failed during [`serve_replay`].
+#[derive(Debug)]
+pub struct ServeReplayError {
+    /// Index of the failing event in the trace.
+    pub event_index: u64,
+    /// The failing operation.
+    pub cause: OpError,
+}
+
+impl std::fmt::Display for ServeReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event {}: {}", self.event_index, self.cause)
+    }
+}
+
+impl std::error::Error for ServeReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
+/// What one shard did over a serve run.
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// The shard's policy name.
+    pub policy: String,
+    /// The shard engine's run summary (phases empty: live runs have no
+    /// trace phase markers).
+    pub result: RunResult,
+    /// Every trigger decision the shard's policy made, from live
+    /// counters.
+    pub decisions: Vec<DecisionRecord>,
+}
+
+/// What a serve run did.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Operations each session applied (indexed by session id).
+    pub per_session_ops: Vec<u64>,
+    /// The scheduler's turn order: session id per scheduled turn.
+    /// Deterministic under a fixed [`ServeConfig::scheduler_seed`].
+    pub schedule: Vec<u32>,
+    /// Per-shard summaries (indexed by shard).
+    pub shards: Vec<ShardOutcome>,
+}
+
+/// One session's workload generator.
+///
+/// Every action is safe under deferred collection *between* turns:
+/// composite actions (create a child, then link it reachable) complete
+/// within a single turn while the shard lock is held, so the collector
+/// never observes the momentarily-unreachable child.
+struct SessionWorkload {
+    rng: StdRng,
+    /// Rooted anchors this session created: `(id, slots)`.
+    anchors: Vec<(ObjectId, u32)>,
+    remaining: u64,
+}
+
+impl SessionWorkload {
+    fn new(session: u32, params: WorkloadParams, ops: u64) -> Self {
+        SessionWorkload {
+            rng: StdRng::seed_from_u64(params.seed.wrapping_add(session as u64)),
+            anchors: Vec::new(),
+            remaining: ops,
+        }
+    }
+
+    /// Applies up to `batch` operations through `sess`. Returns the
+    /// number applied.
+    fn run_turn<P: RatePolicy>(
+        &mut self,
+        sess: &mut Session<'_, P>,
+        batch: u64,
+        params: WorkloadParams,
+    ) -> Result<u64, OpError> {
+        let mut applied = 0u64;
+        while applied < batch && self.remaining > 0 {
+            let room = (batch - applied).min(self.remaining);
+            let n = self.step(sess, room, params)?;
+            applied += n;
+            self.remaining -= n.min(self.remaining);
+        }
+        Ok(applied)
+    }
+
+    /// Applies one action (1 or 2 operations, never more than `room`).
+    fn step<P: RatePolicy>(
+        &mut self,
+        sess: &mut Session<'_, P>,
+        room: u64,
+        params: WorkloadParams,
+    ) -> Result<u64, OpError> {
+        let roll = self.rng.random_range(0u32..100);
+        // Composite actions need room for both halves in this turn.
+        if room >= 2 && (self.anchors.is_empty() || roll < 10) {
+            // New rooted anchor.
+            let a = sess.create(params.anchor_size, params.anchor_slots)?;
+            sess.add_root(a.id)?;
+            self.anchors.push((a.id, params.anchor_slots));
+            return Ok(2);
+        }
+        if self.anchors.is_empty() {
+            // No anchors and no room for the composite: burn one op on
+            // an unrooted create (immediate garbage — the collector's
+            // job is exactly to find it).
+            sess.create(params.child_size, 0)?;
+            return Ok(1);
+        }
+        let (anchor, slots) = self.anchors[self.rng.random_range(0..self.anchors.len())];
+        if room >= 2 && roll < 45 {
+            // Create a child and link it into a random anchor slot,
+            // atomically within this turn. Overwriting an existing
+            // pointer orphans the old child — garbage, by design.
+            let c = sess.create(params.child_size, 0)?;
+            let slot = SlotIdx::new(self.rng.random_range(0..slots));
+            sess.overwrite(anchor, slot, Some(c.id))?;
+            return Ok(2);
+        }
+        if roll < 60 {
+            // Clear a random slot (may orphan a child).
+            let slot = SlotIdx::new(self.rng.random_range(0..slots));
+            sess.overwrite(anchor, slot, None)?;
+            return Ok(1);
+        }
+        // Navigate: read a rooted anchor.
+        sess.access(anchor)?;
+        Ok(1)
+    }
+}
+
+/// One shard's shared state: the engine (in deferred mode), its decision
+/// log, and the "collection pending" flag the scheduler and GC worker
+/// hand off through.
+struct ShardState {
+    engine: StoreEngine,
+    log: DecisionLog,
+    collecting: bool,
+}
+
+struct Slot {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+}
+
+/// Runs a multi-session serve workload to completion.
+///
+/// `make_policy` is called once per shard with the shard index. The
+/// scheduler thread picks among sessions with remaining work using an
+/// RNG seeded from [`ServeConfig::scheduler_seed`], applies one batch of
+/// that session's operations against its shard, and — if the shard's
+/// trigger is then due — hands the shard to the GC worker thread, which
+/// collects until the trigger is satisfied. The scheduler never touches
+/// a shard while it is collecting, so collections land at deterministic
+/// points in each shard's operation stream.
+pub fn serve(
+    config: ServeConfig,
+    mut make_policy: impl FnMut(u32) -> Box<dyn RatePolicy + Send>,
+) -> Result<ServeOutcome, ServeError> {
+    let sessions = config.sessions.max(1) as usize;
+    let shard_count = (config.shards.max(1) as usize).min(sessions);
+    let batch = config.batch.max(2);
+
+    let slots: Vec<Slot> = (0..shard_count)
+        .map(|i| {
+            let mut engine = StoreEngine::new(config.engine.clone(), make_policy(i as u32));
+            engine.set_collect_mode(CollectMode::Deferred);
+            Slot {
+                state: Mutex::new(ShardState {
+                    engine,
+                    log: DecisionLog::default(),
+                    collecting: false,
+                }),
+                cv: Condvar::new(),
+            }
+        })
+        .collect();
+
+    let mut workloads: Vec<SessionWorkload> = (0..sessions)
+        .map(|i| SessionWorkload::new(i as u32, config.workload, config.ops_per_session))
+        .collect();
+    let mut per_session_ops = vec![0u64; sessions];
+    let mut schedule: Vec<u32> = Vec::new();
+
+    let (tx, rx) = mpsc::channel::<usize>();
+    let failure = std::thread::scope(|scope| {
+        let slots = &slots;
+        let worker = scope.spawn(move || {
+            for i in rx {
+                let slot = &slots[i];
+                let mut st = slot.state.lock().expect("shard lock");
+                let state = &mut *st;
+                // Drain: collect until the (re-armed) trigger is
+                // satisfied. Policies clamp triggers to ≥ 1 elapsed
+                // unit, so this runs at most one real collection plus
+                // possible no-partition re-arms.
+                while state.engine.collect_if_due(Some(&mut state.log)).is_some() {}
+                st.collecting = false;
+                slot.cv.notify_all();
+            }
+        });
+
+        let mut rng = StdRng::seed_from_u64(config.scheduler_seed);
+        let mut active: Vec<usize> = (0..sessions).collect();
+        let mut failure: Option<ServeError> = None;
+        while !active.is_empty() {
+            let k = rng.random_range(0..active.len());
+            let si = active[k];
+            let shard_i = si % shard_count;
+            let slot = &slots[shard_i];
+            let mut st = slot.state.lock().expect("shard lock");
+            while st.collecting {
+                st = slot.cv.wait(st).expect("shard lock");
+            }
+            let state = &mut *st;
+            let mut sess = state
+                .engine
+                .session_with(SessionId::new(si as u32), Some(&mut state.log));
+            match workloads[si].run_turn(&mut sess, batch, config.workload) {
+                Ok(applied) => {
+                    per_session_ops[si] += applied;
+                    schedule.push(si as u32);
+                }
+                Err(op) => {
+                    failure = Some(ServeError { shard: shard_i, op });
+                    break;
+                }
+            }
+            if st.engine.collection_due() {
+                st.collecting = true;
+                tx.send(shard_i).expect("gc worker alive");
+            }
+            drop(st);
+            if workloads[si].remaining == 0 {
+                active.swap_remove(k);
+            }
+        }
+        drop(tx);
+        worker.join().expect("gc worker panicked");
+        failure
+    });
+    if let Some(err) = failure {
+        return Err(err);
+    }
+
+    let shards = slots
+        .into_iter()
+        .map(|slot| {
+            let state = slot.state.into_inner().expect("shard lock");
+            ShardOutcome {
+                policy: state.engine.policy_name(),
+                result: state.engine.into_result(Vec::new()),
+                decisions: state.log.decisions,
+            }
+        })
+        .collect();
+    Ok(ServeOutcome {
+        per_session_ops,
+        schedule,
+        shards,
+    })
+}
+
+/// Replays a trace through the serve path: one shard, one session,
+/// batch size one, collections on the GC worker thread.
+///
+/// Produces a [`RunResult`] byte-identical to the simulator's inline
+/// replay of the same trace under the same configuration and policy:
+/// the scheduler applies exactly one event per turn and then waits for
+/// any due collection to finish before the next event, so collections
+/// fall between the same pair of events as in the inline loop, and the
+/// worker's drain loop degenerates to the inline single check (fresh
+/// triggers are clamped to ≥ 1 elapsed unit, so a second iteration
+/// never fires a real collection).
+pub fn serve_replay<P: RatePolicy + Send>(
+    config: EngineConfig,
+    trace: &Trace,
+    policy: P,
+) -> Result<RunResult, ServeReplayError> {
+    struct State<P: RatePolicy> {
+        engine: StoreEngine<P>,
+        collecting: bool,
+    }
+    let mut engine = StoreEngine::new(config, policy);
+    engine.set_collect_mode(CollectMode::Deferred);
+    let state = Mutex::new(State {
+        engine,
+        collecting: false,
+    });
+    let cv = Condvar::new();
+    let mut phases: Vec<(String, u64, u64)> = Vec::new();
+
+    let (tx, rx) = mpsc::channel::<()>();
+    let failure = std::thread::scope(|scope| {
+        let state = &state;
+        let cv = &cv;
+        let worker = scope.spawn(move || {
+            for () in rx {
+                let mut st = state.lock().expect("shard lock");
+                while st.engine.collect_if_due(None).is_some() {}
+                st.collecting = false;
+                cv.notify_all();
+            }
+        });
+
+        let mut failure: Option<ServeReplayError> = None;
+        for (i, ev) in trace.iter().enumerate() {
+            let mut st = state.lock().expect("shard lock");
+            while st.collecting {
+                st = cv.wait(st).expect("shard lock");
+            }
+            if let Event::Phase { id } = ev {
+                let name = trace.phase_name(*id).unwrap_or("<unknown>").to_owned();
+                phases.push((name, i as u64, st.engine.collection_count()));
+            }
+            if let Err(cause) = st.engine.session(SessionId::new(0)).apply_event(ev) {
+                failure = Some(ServeReplayError {
+                    event_index: i as u64,
+                    cause,
+                });
+                break;
+            }
+            if st.engine.collection_due() {
+                st.collecting = true;
+                tx.send(()).expect("gc worker alive");
+            }
+        }
+        drop(tx);
+        worker.join().expect("gc worker panicked");
+        failure
+    });
+    if let Some(err) = failure {
+        return Err(err);
+    }
+    let state = state.into_inner().expect("shard lock");
+    Ok(state.engine.into_result(phases))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbgc_core::FixedRatePolicy;
+
+    fn tiny_serve(seed: u64) -> ServeConfig {
+        ServeConfig {
+            engine: EngineConfig::tiny(),
+            sessions: 3,
+            shards: 2,
+            ops_per_session: 300,
+            batch: 4,
+            scheduler_seed: seed,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serve_completes_all_ops_and_collects() {
+        let out = serve(tiny_serve(7), |_| Box::new(FixedRatePolicy::new(20))).expect("serve run");
+        assert_eq!(out.per_session_ops, vec![300, 300, 300]);
+        assert_eq!(out.shards.len(), 2);
+        let total_collections: u64 = out.shards.iter().map(|s| s.result.collection_count()).sum();
+        assert!(total_collections > 0, "rate-20 policy must collect");
+        for shard in &out.shards {
+            assert_eq!(
+                shard.decisions.len() as u64,
+                shard.result.collection_count(),
+                "one decision per collection, logged from live counters"
+            );
+            assert_eq!(shard.policy, "fixed(20)");
+        }
+    }
+
+    #[test]
+    fn serve_schedule_is_deterministic_per_seed() {
+        let a = serve(tiny_serve(9), |_| Box::new(FixedRatePolicy::new(25))).expect("run a");
+        let b = serve(tiny_serve(9), |_| Box::new(FixedRatePolicy::new(25))).expect("run b");
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.per_session_ops, b.per_session_ops);
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(sa.result, sb.result);
+        }
+        let c = serve(tiny_serve(10), |_| Box::new(FixedRatePolicy::new(25))).expect("run c");
+        assert_ne!(
+            a.schedule, c.schedule,
+            "different scheduler seeds interleave differently"
+        );
+    }
+}

@@ -42,7 +42,7 @@ pub fn collect_partition(store: &mut Store, p: PartitionId) -> CollectionApplied
 /// survivor list), so steady-state collections through
 /// [`Collector::collect_once`] allocate nothing.
 pub struct Collector {
-    selector: Box<dyn PartitionSelector>,
+    selector: Box<dyn PartitionSelector + Send>,
     collections: u64,
     scratch: CollectScratch,
     survivors: Vec<ObjectId>,
@@ -59,7 +59,7 @@ impl std::fmt::Debug for Collector {
 
 impl Collector {
     /// A collector using the given selection policy.
-    pub fn new(selector: Box<dyn PartitionSelector>) -> Self {
+    pub fn new(selector: Box<dyn PartitionSelector + Send>) -> Self {
         Collector {
             selector,
             collections: 0,

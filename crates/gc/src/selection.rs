@@ -138,7 +138,7 @@ pub enum SelectorKind {
 
 impl SelectorKind {
     /// Instantiates the selector. `seed` is used only by [`RandomSelector`].
-    pub fn build(self, seed: u64) -> Box<dyn PartitionSelector> {
+    pub fn build(self, seed: u64) -> Box<dyn PartitionSelector + Send> {
         match self {
             SelectorKind::UpdatedPointer => Box::new(UpdatedPointerSelector),
             SelectorKind::Random => Box::new(RandomSelector::new(seed)),

@@ -1,89 +1,8 @@
 //! Simulation configuration.
+//!
+//! The configuration type lives in `odbgc-engine` now that the replay
+//! loop's core is the shared [`odbgc_engine::StoreEngine`]; a simulation
+//! run is just an engine driven by a trace, so the two drivers share one
+//! configuration. This module re-exports it under its historical name.
 
-use odbgc_core::EstimatorKind;
-use odbgc_gc::SelectorKind;
-use odbgc_store::StoreConfig;
-
-/// Configuration of one simulation run.
-#[derive(Debug, Clone)]
-pub struct SimConfig {
-    /// Store geometry and semantics (paper defaults: 8 KiB pages, 12-page
-    /// partitions and buffer).
-    pub store: StoreConfig,
-    /// Partition-selection policy (paper: UPDATEDPOINTER).
-    pub selector: SelectorKind,
-    /// Seed for stochastic selectors (only Random uses it).
-    pub selector_seed: u64,
-    /// Collections excluded from measured means (paper: 10 for the
-    /// time-varying figures).
-    pub preamble_collections: u64,
-    /// Reconcile the exact garbage tracker with full reachability at every
-    /// collection. The OO7 workload never kills cycles, so this is a
-    /// no-op there, but it guarantees the oracle estimator is exact on
-    /// any workload.
-    pub exact_oracle_recompute: bool,
-    /// Run the store's deep structural audit (`assert_consistent`) and
-    /// garbage-exactness check after every collection. Expensive; for
-    /// tests.
-    pub deep_checks: bool,
-    /// Shadow estimator whose per-collection estimates are recorded into
-    /// the series (for the estimation figures). Runs on the same
-    /// observation stream the policy sees, so for a SAGA policy configured
-    /// with the same estimator kind the recorded values equal the ones the
-    /// policy used.
-    pub shadow_estimator: Option<EstimatorKind>,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            store: StoreConfig::default(),
-            selector: SelectorKind::UpdatedPointer,
-            selector_seed: 0,
-            preamble_collections: 10,
-            exact_oracle_recompute: true,
-            deep_checks: false,
-            shadow_estimator: None,
-        }
-    }
-}
-
-impl SimConfig {
-    /// Paper defaults with a shadow estimator attached.
-    pub fn with_shadow(estimator: EstimatorKind) -> Self {
-        SimConfig {
-            shadow_estimator: Some(estimator),
-            ..SimConfig::default()
-        }
-    }
-
-    /// Small geometry for unit tests.
-    pub fn tiny() -> Self {
-        SimConfig {
-            store: StoreConfig::tiny(),
-            preamble_collections: 2,
-            ..SimConfig::default()
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn default_matches_paper() {
-        let c = SimConfig::default();
-        assert_eq!(c.preamble_collections, 10);
-        assert_eq!(c.selector, SelectorKind::UpdatedPointer);
-        assert_eq!(c.store.pages_per_partition, 12);
-        assert!(c.exact_oracle_recompute);
-        assert!(c.shadow_estimator.is_none());
-    }
-
-    #[test]
-    fn with_shadow_attaches_estimator() {
-        let c = SimConfig::with_shadow(EstimatorKind::CgsCb);
-        assert_eq!(c.shadow_estimator, Some(EstimatorKind::CgsCb));
-    }
-}
+pub use odbgc_engine::EngineConfig as SimConfig;

@@ -109,7 +109,9 @@ pub fn run_single(
     config: &SimConfig,
     policy: &mut dyn RatePolicy,
 ) -> Result<RunResult, SimError> {
-    Simulator::new(config.clone()).run(trace, policy)
+    Simulator::new(config.clone())
+        .replay(trace, policy, crate::simulator::ReplayOptions::new())
+        .map_err(crate::simulator::ReplayError::into_sim)
 }
 
 #[cfg(test)]

@@ -33,12 +33,17 @@ pub use runner::{
     JobError, JobErrorKind, PlanCell, PlanOutcome, PlanProgress, TraceCache,
 };
 pub use series::CollectionRecord;
-pub use simulator::{ReplayError, RunResult, SimError, Simulator};
+pub use simulator::{
+    EventStream, OwnedEvents, ReplayError, ReplayOptions, ReplaySource, RunResult, SimError,
+    Simulator, TraceEvents,
+};
 pub use telemetry::{
     verify_header, DecisionRecord, Json, JsonError, PhaseTelemetry, PlanTelemetry, RunTelemetry,
 };
 
 pub use odbgc_tracefile::{CorpusKey, CorpusStats, TraceCorpus};
+
+pub use odbgc_engine as engine;
 
 pub use odbgc_core as core_policies;
 pub use odbgc_gc as gc;

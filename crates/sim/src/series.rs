@@ -1,90 +1,7 @@
 //! Per-collection time series (the raw material of Figures 6 and 7).
+//!
+//! The record type lives in `odbgc-engine` (the engine appends one per
+//! collection, replayed or live); this module re-exports it under its
+//! historical path.
 
-/// One collection's record.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CollectionRecord {
-    /// 0-based collection index.
-    pub index: u64,
-    /// Overwrite clock at collection time (SAGA time).
-    pub clock: u64,
-    /// Pointer overwrites since the previous collection — the realized
-    /// collection interval ("collection rate" axis of Figure 7b).
-    pub interval_overwrites: u64,
-    /// Application I/O since the previous collection.
-    pub app_io_since_prev: u64,
-    /// I/O this collection cost.
-    pub gc_io: u64,
-    /// Bytes reclaimed ("collection yield", Figure 7b middle graph).
-    pub bytes_reclaimed: u64,
-    /// Partition that was collected.
-    pub partition: u32,
-    /// Database size at collection time.
-    pub db_size: u64,
-    /// Exact garbage bytes right after the collection.
-    pub actual_garbage: u64,
-    /// Shadow-estimator garbage estimate right after the collection, if a
-    /// shadow estimator is configured.
-    pub estimated_garbage: Option<f64>,
-    /// Cumulative GC I/O fraction of all I/O so far.
-    pub gc_io_fraction_cum: f64,
-}
-
-impl CollectionRecord {
-    /// Actual garbage as a percentage of database size.
-    pub fn actual_garbage_pct(&self) -> f64 {
-        if self.db_size == 0 {
-            0.0
-        } else {
-            100.0 * self.actual_garbage as f64 / self.db_size as f64
-        }
-    }
-
-    /// Estimated garbage as a percentage of database size.
-    pub fn estimated_garbage_pct(&self) -> Option<f64> {
-        self.estimated_garbage.map(|e| {
-            if self.db_size == 0 {
-                0.0
-            } else {
-                100.0 * e / self.db_size as f64
-            }
-        })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn rec() -> CollectionRecord {
-        CollectionRecord {
-            index: 0,
-            clock: 100,
-            interval_overwrites: 100,
-            app_io_since_prev: 50,
-            gc_io: 10,
-            bytes_reclaimed: 500,
-            partition: 0,
-            db_size: 10_000,
-            actual_garbage: 1_000,
-            estimated_garbage: Some(1_200.0),
-            gc_io_fraction_cum: 0.1,
-        }
-    }
-
-    #[test]
-    fn percentage_helpers() {
-        let r = rec();
-        assert!((r.actual_garbage_pct() - 10.0).abs() < 1e-12);
-        assert!((r.estimated_garbage_pct().unwrap() - 12.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn zero_db_size_is_safe() {
-        let r = CollectionRecord {
-            db_size: 0,
-            ..rec()
-        };
-        assert_eq!(r.actual_garbage_pct(), 0.0);
-        assert_eq!(r.estimated_garbage_pct(), Some(0.0));
-    }
-}
+pub use odbgc_engine::CollectionRecord;

@@ -1,17 +1,25 @@
-//! The simulation loop.
+//! The simulation loop: a thin trace driver over [`StoreEngine`].
+//!
+//! Historically this module owned the whole replay loop. That loop's
+//! core — store, collector, policy, trigger state, live counters — now
+//! lives in [`odbgc_engine::StoreEngine`], and the simulator is one
+//! client of it: it feeds trace events through the engine exactly as a
+//! live mutator session would, adding only what is trace-specific
+//! (event indexing for errors, phase-name resolution, and the telemetry
+//! sink's phase accounting).
 
 use std::borrow::Cow;
 use std::convert::Infallible;
 
-use odbgc_core::{CollectionObservation, GarbageEstimator, RatePolicy, Trigger, TriggerElapsed};
-use odbgc_gc::Collector;
-use odbgc_store::{Store, StoreError};
+use odbgc_core::RatePolicy;
+use odbgc_engine::{EngineObserver, StoreEngine};
+use odbgc_store::StoreError;
 use odbgc_trace::{Event, Trace};
 
 use crate::config::SimConfig;
-use crate::metrics::RunMetrics;
-use crate::series::CollectionRecord;
-use crate::telemetry::{DecisionRecord, EventSnapshot, RunTelemetry};
+use crate::telemetry::RunTelemetry;
+
+pub use odbgc_engine::RunResult;
 
 /// A simulation failure: the trace could not be replayed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,9 +38,9 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// A streaming-replay failure: either the simulation itself failed
-/// ([`SimError`]) or the event *source* did — e.g. a corrupt tracefile
-/// block discovered mid-replay.
+/// A replay failure: either the simulation itself failed ([`SimError`])
+/// or the event *source* did — e.g. a corrupt tracefile block discovered
+/// mid-replay.
 #[derive(Debug)]
 pub enum ReplayError<E> {
     /// The store rejected an event.
@@ -44,6 +52,17 @@ pub enum ReplayError<E> {
         /// The source's error.
         cause: E,
     },
+}
+
+impl ReplayError<Infallible> {
+    /// An infallible source never fails, so the only possible failure is
+    /// the simulation's own.
+    pub fn into_sim(self) -> SimError {
+        match self {
+            ReplayError::Sim(e) => e,
+            ReplayError::Source { cause, .. } => match cause {},
+        }
+    }
 }
 
 impl<E: std::fmt::Display> std::fmt::Display for ReplayError<E> {
@@ -66,85 +85,126 @@ impl<E: std::error::Error + 'static> std::error::Error for ReplayError<E> {
     }
 }
 
-/// Everything one run produced.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RunResult {
-    /// Per-collection series.
-    pub collections: Vec<CollectionRecord>,
-    /// Event-sampled mean garbage percentage over the measured window.
-    pub garbage_pct_mean: Option<f64>,
-    /// GC share of I/O over the measured window, percent.
-    pub gc_io_pct: Option<f64>,
-    /// Total application page I/O.
-    pub app_io_total: u64,
-    /// Total collector page I/O.
-    pub gc_io_total: u64,
-    /// `TotGarb` at end of run (bytes).
-    pub total_garbage_generated: u64,
-    /// `TotColl` at end of run (bytes).
-    pub total_garbage_collected: u64,
-    /// Allocated storage at end of run (bytes).
-    pub final_db_size: u64,
-    /// Live bytes at end of run.
-    pub final_live_bytes: u64,
-    /// Garbage bytes remaining at end of run.
-    pub final_garbage_bytes: u64,
-    /// Partitions allocated by end of run.
-    pub partition_count: u64,
-    /// Total pointer overwrites replayed.
-    pub overwrite_clock: u64,
-    /// Events replayed (the whole trace on success).
-    pub events_replayed: u64,
-    /// `(phase name, event index, collections done at phase start)`.
-    pub phases: Vec<(String, u64, u64)>,
+/// Anything a replay can consume: a phase-name table plus a stream of
+/// events.
+///
+/// Implemented for `&Trace` (in-memory, infallible, borrowed events) and
+/// [`EventStream`] (streaming, fallible, owned events — most usefully an
+/// `odbgc_tracefile` reader decoding block by block, so peak memory is
+/// O(live database), not O(trace)).
+pub trait ReplaySource<'a> {
+    /// The source's error type ([`Infallible`] for in-memory traces).
+    type Error;
+    /// The event iterator.
+    type Events: Iterator<Item = Result<Cow<'a, Event>, Self::Error>>;
+
+    /// The phase-name table, indexed by [`odbgc_trace::PhaseId`].
+    /// Sources must supply it up front (tracefiles carry it in their
+    /// header) so [`Event::Phase`] markers can be named in the result.
+    fn phase_names(&self) -> Vec<String>;
+
+    /// Consumes the source into its event stream.
+    fn into_events(self) -> Self::Events;
 }
 
-impl RunResult {
-    /// Total I/O operations (application + collector).
-    pub fn total_io(&self) -> u64 {
-        self.app_io_total + self.gc_io_total
+/// Borrowed, infallible events of an in-memory [`Trace`].
+pub struct TraceEvents<'a>(std::slice::Iter<'a, Event>);
+
+impl<'a> Iterator for TraceEvents<'a> {
+    type Item = Result<Cow<'a, Event>, Infallible>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next().map(|ev| Ok(Cow::Borrowed(ev)))
     }
 
-    /// GC share of I/O over the whole run (not window-restricted).
-    pub fn gc_io_pct_whole_run(&self) -> f64 {
-        if self.total_io() == 0 {
-            0.0
-        } else {
-            100.0 * self.gc_io_total as f64 / self.total_io() as f64
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<'a> ReplaySource<'a> for &'a Trace {
+    type Error = Infallible;
+    type Events = TraceEvents<'a>;
+
+    fn phase_names(&self) -> Vec<String> {
+        Trace::phase_names(self).to_vec()
+    }
+
+    fn into_events(self) -> TraceEvents<'a> {
+        TraceEvents(self.iter())
+    }
+}
+
+/// A fallible stream of owned events with an up-front phase-name table.
+pub struct EventStream<I> {
+    phase_names: Vec<String>,
+    events: I,
+}
+
+impl<I> EventStream<I> {
+    /// A source over `events` whose [`Event::Phase`] markers resolve
+    /// through `phase_names`.
+    pub fn new<E>(phase_names: Vec<String>, events: impl IntoIterator<IntoIter = I>) -> Self
+    where
+        I: Iterator<Item = Result<Event, E>>,
+    {
+        EventStream {
+            phase_names,
+            events: events.into_iter(),
         }
     }
+}
 
-    /// Number of collections performed.
-    pub fn collection_count(&self) -> u64 {
-        self.collections.len() as u64
+/// Owned events of an [`EventStream`].
+pub struct OwnedEvents<I>(I);
+
+impl<E, I: Iterator<Item = Result<Event, E>>> Iterator for OwnedEvents<I> {
+    type Item = Result<Cow<'static, Event>, E>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next().map(|r| r.map(Cow::Owned))
     }
 
-    /// GC share of I/O computed post hoc from the collection series,
-    /// excluding the first `preamble` collections. Unlike
-    /// [`RunResult::gc_io_pct`], this works for any preamble ≤ the number
-    /// of collections, so sweeps whose extreme settings produce few
-    /// collections can shorten the preamble (the paper's preambles range
-    /// from 10 to 30 "depending on the simulation parameters").
-    pub fn windowed_gc_io_pct(&self, preamble: u64) -> Option<f64> {
-        if (self.collections.len() as u64) <= preamble {
-            return None;
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<E, I: Iterator<Item = Result<Event, E>>> ReplaySource<'static> for EventStream<I> {
+    type Error = E;
+    type Events = OwnedEvents<I>;
+
+    fn phase_names(&self) -> Vec<String> {
+        self.phase_names.clone()
+    }
+
+    fn into_events(self) -> OwnedEvents<I> {
+        OwnedEvents(self.events)
+    }
+}
+
+/// Options of one replay. The plain default replays silently; attach a
+/// [`RunTelemetry`] sink to additionally record the per-decision policy
+/// log and per-phase accounting.
+///
+/// Telemetry is strictly an observer: the returned [`RunResult`] is
+/// byte-identical with or without it.
+#[derive(Default)]
+pub struct ReplayOptions<'t> {
+    telemetry: Option<&'t mut RunTelemetry>,
+}
+
+impl<'t> ReplayOptions<'t> {
+    /// The default options: no telemetry.
+    pub fn new() -> ReplayOptions<'static> {
+        ReplayOptions { telemetry: None }
+    }
+
+    /// Records decision and phase telemetry into `sink`.
+    pub fn telemetry(self, sink: &'t mut RunTelemetry) -> ReplayOptions<'t> {
+        ReplayOptions {
+            telemetry: Some(sink),
         }
-        let skip_app: u64 = self
-            .collections
-            .iter()
-            .take(preamble as usize)
-            .map(|r| r.app_io_since_prev)
-            .sum();
-        let skip_gc: u64 = self
-            .collections
-            .iter()
-            .take(preamble as usize)
-            .map(|r| r.gc_io)
-            .sum();
-        let app = self.app_io_total - skip_app;
-        let gc = self.gc_io_total - skip_gc;
-        let total = app + gc;
-        (total > 0).then(|| 100.0 * gc as f64 / total as f64)
     }
 }
 
@@ -153,12 +213,13 @@ impl RunResult {
 /// ```
 /// use odbgc_sim::core_policies::SaioPolicy;
 /// use odbgc_sim::oo7::{Oo7App, Oo7Params};
+/// use odbgc_sim::simulator::ReplayOptions;
 /// use odbgc_sim::{SimConfig, Simulator};
 ///
 /// let (trace, _) = Oo7App::standard(Oo7Params::tiny(), 1).generate();
 /// let mut policy = SaioPolicy::with_frac(0.10);
 /// let result = Simulator::new(SimConfig::tiny())
-///     .run(&trace, &mut policy)
+///     .replay(&trace, &mut policy, ReplayOptions::new())
 ///     .expect("trace replays cleanly");
 /// assert!(result.collection_count() > 0);
 /// assert_eq!(
@@ -176,93 +237,27 @@ impl Simulator {
         Simulator { config }
     }
 
-    /// Replays `trace` under `policy`, collecting per the configuration.
-    pub fn run(&self, trace: &Trace, policy: &mut dyn RatePolicy) -> Result<RunResult, SimError> {
-        let events = trace
-            .iter()
-            .map(|ev| Ok::<_, Infallible>(Cow::Borrowed(ev)));
-        match self.replay(trace.phase_names(), events, policy, None) {
-            Ok(result) => Ok(result),
-            Err(ReplayError::Sim(e)) => Err(e),
-            Err(ReplayError::Source { cause, .. }) => match cause {},
-        }
-    }
-
-    /// Like [`Simulator::run`], additionally recording a
-    /// [`RunTelemetry`]: the per-decision policy log and per-phase
-    /// accounting. The returned [`RunResult`] is identical to what
-    /// [`Simulator::run`] produces for the same inputs — telemetry only
-    /// observes the replay, it never influences it.
-    pub fn run_with_telemetry(
-        &self,
-        trace: &Trace,
-        policy: &mut dyn RatePolicy,
-    ) -> Result<(RunResult, RunTelemetry), SimError> {
-        let mut telemetry = RunTelemetry::new(policy.name());
-        let events = trace
-            .iter()
-            .map(|ev| Ok::<_, Infallible>(Cow::Borrowed(ev)));
-        match self.replay(trace.phase_names(), events, policy, Some(&mut telemetry)) {
-            Ok(result) => Ok((result, telemetry)),
-            Err(ReplayError::Sim(e)) => Err(e),
-            Err(ReplayError::Source { cause, .. }) => match cause {},
-        }
-    }
-
-    /// Replays a fallible *stream* of events under `policy`.
+    /// Replays a [`ReplaySource`] under `policy`, collecting per the
+    /// configuration.
     ///
-    /// This is the streaming twin of [`Simulator::run`]: events are
-    /// consumed one at a time from any source — most usefully an
-    /// `odbgc_tracefile` reader decoding a binary tracefile block by
-    /// block — so peak memory is O(live database), not O(trace). The
-    /// phase-name table must be supplied up front (tracefiles carry it
-    /// in their header) so [`Event::Phase`] markers can be named in the
-    /// result.
-    ///
-    /// A source error aborts the replay with
-    /// [`ReplayError::Source`] carrying the index of the event that
-    /// failed to materialize.
-    pub fn run_streaming<E>(
+    /// This is the single replay entry point; `&Trace` replays borrowed
+    /// events infallibly (its error type is uninhabited — see
+    /// [`ReplayError::into_sim`]), while an [`EventStream`] replays a
+    /// fallible stream one event at a time. A source error aborts the
+    /// replay with [`ReplayError::Source`] carrying the index of the
+    /// event that failed to materialize.
+    pub fn replay<'a, S: ReplaySource<'a>>(
         &self,
-        phase_names: &[String],
-        events: impl IntoIterator<Item = Result<Event, E>>,
+        source: S,
         policy: &mut dyn RatePolicy,
-    ) -> Result<RunResult, ReplayError<E>> {
-        self.replay(
-            phase_names,
-            events.into_iter().map(|r| r.map(Cow::Owned)),
-            policy,
-            None,
-        )
-    }
-
-    /// The replay core shared by [`Simulator::run`] (borrowed events,
-    /// infallible source) and [`Simulator::run_streaming`] (owned
-    /// events, fallible source).
-    fn replay<'a, E>(
-        &self,
-        phase_names: &[String],
-        events: impl Iterator<Item = Result<Cow<'a, Event>, E>>,
-        policy: &mut dyn RatePolicy,
-        mut telemetry: Option<&mut RunTelemetry>,
-    ) -> Result<RunResult, ReplayError<E>> {
-        let mut store = Store::new(self.config.store.clone());
-        let mut collector = Collector::new(self.config.selector.build(self.config.selector_seed));
-        let mut metrics = RunMetrics::new(self.config.preamble_collections);
-        let mut shadow: Option<Box<dyn GarbageEstimator>> =
-            self.config.shadow_estimator.map(|k| k.build());
-
-        let mut records: Vec<CollectionRecord> = Vec::new();
+        options: ReplayOptions<'_>,
+    ) -> Result<RunResult, ReplayError<S::Error>> {
+        let phase_names = source.phase_names();
+        let mut telemetry = options.telemetry;
+        let mut engine = StoreEngine::new(self.config.clone(), policy);
         let mut phases: Vec<(String, u64, u64)> = Vec::new();
 
-        let mut trigger: Trigger = policy.initial_trigger();
-        // Interval baselines (at the last collection).
-        let mut app_io_base = 0u64;
-        let mut clock_base = 0u64;
-        let mut alloc_base = 0u64;
-
-        let mut events_replayed = 0u64;
-        for (i, ev) in events.enumerate() {
+        for (i, ev) in source.into_events().enumerate() {
             let ev = ev.map_err(|cause| ReplayError::Source {
                 event_index: i,
                 cause,
@@ -275,147 +270,76 @@ impl Simulator {
                     .unwrap_or("<unknown>")
                     .to_owned();
                 if let Some(t) = telemetry.as_deref_mut() {
-                    t.enter_phase(&name, snapshot(&store));
+                    t.enter_phase(&name, engine.counters());
                 }
-                phases.push((name, i as u64, records.len() as u64));
+                phases.push((name, i as u64, engine.collection_count()));
             }
-            store.apply(ev).map_err(|cause| {
-                ReplayError::Sim(SimError {
-                    event_index: i,
-                    cause,
-                })
-            })?;
-            events_replayed += 1;
-
-            // `db_size_bytes` is a maintained O(1) counter, so the mean
-            // samples the true size every event — including capacity
-            // changes that leave the partition count unchanged.
-            metrics.sample_event(store.garbage_bytes(), store.db_size_bytes());
-            if self.config.deep_checks {
-                store.assert_counters_match();
-            }
-            if let Some(t) = telemetry.as_deref_mut() {
-                t.note_event(snapshot(&store));
-            }
-
-            let elapsed = TriggerElapsed::new(
-                store.io().app_total() - app_io_base,
-                store.overwrite_clock() - clock_base,
-                store.alloc_clock() - alloc_base,
-            );
-            if trigger.is_due(elapsed) {
-                let app_io_since_prev = store.io().app_total() - app_io_base;
-                // The exact-oracle reconciliation is O(heap), so it runs
-                // only when a collection can actually happen — never once
-                // per event while a due trigger waits for the first
-                // partition to exist.
-                let outcome = if store.partition_count() == 0 {
-                    None
-                } else {
-                    if self.config.exact_oracle_recompute {
-                        store.recompute_garbage_exact();
-                    }
-                    collector.collect_once(&mut store)
-                };
-                let Some(outcome) = outcome else {
-                    // Nothing to collect yet (e.g. the trace front-loads
-                    // phase markers). Re-arm a fresh trigger and reset the
-                    // interval baselines so the stale trigger does not
-                    // stay due on every subsequent event.
-                    trigger = policy.initial_trigger();
-                    app_io_base = store.io().app_total();
-                    clock_base = store.overwrite_clock();
-                    alloc_base = store.alloc_clock();
-                    continue;
-                };
-                let obs = CollectionObservation {
-                    collection_index: records.len() as u64,
-                    gc_io: outcome.gc_io(),
-                    app_io_since_prev,
-                    bytes_reclaimed: outcome.bytes_reclaimed,
-                    overwrites_of_collected: outcome.overwrites_at_collection,
-                    total_outstanding_overwrites: store.total_outstanding_overwrites(),
-                    partition_count: store.partition_count() as u64,
-                    db_size: store.db_size_bytes(),
-                    total_collected: store.total_garbage_collected(),
-                    overwrite_clock: store.overwrite_clock(),
-                    alloc_clock: store.alloc_clock(),
-                    exact_garbage: store.garbage_bytes(),
-                };
-                let estimated = shadow.as_mut().map(|e| e.estimate(&obs));
-
-                records.push(CollectionRecord {
-                    index: obs.collection_index,
-                    clock: obs.overwrite_clock,
-                    interval_overwrites: store.overwrite_clock() - clock_base,
-                    app_io_since_prev,
-                    gc_io: obs.gc_io,
-                    bytes_reclaimed: obs.bytes_reclaimed,
-                    partition: outcome.partition.raw(),
-                    db_size: obs.db_size,
-                    actual_garbage: obs.exact_garbage,
-                    estimated_garbage: estimated,
-                    gc_io_fraction_cum: store.io().gc_fraction(),
-                });
-                metrics.note_collection(store.io().app_total(), store.io().gc_total());
-
-                if self.config.deep_checks {
-                    store.assert_consistent();
-                    store.assert_garbage_exact();
-                }
-                trigger = policy.after_collection(&obs);
-                if let Some(t) = telemetry.as_deref_mut() {
-                    t.note_decision(DecisionRecord {
-                        index: obs.collection_index,
-                        observation: obs,
-                        trigger,
-                        clamp: policy.last_clamp(),
-                        estimated_garbage: estimated,
-                    });
-                }
-                app_io_base = store.io().app_total();
-                clock_base = store.overwrite_clock();
-                alloc_base = store.alloc_clock();
-            }
+            engine
+                .apply_event(
+                    ev,
+                    telemetry
+                        .as_deref_mut()
+                        .map(|t| t as &mut dyn EngineObserver),
+                )
+                .map_err(|cause| {
+                    ReplayError::Sim(SimError {
+                        event_index: i,
+                        cause,
+                    })
+                })?;
         }
 
         if let Some(t) = telemetry {
-            t.finish(snapshot(&store));
+            t.finish(engine.counters());
         }
-
-        Ok(RunResult {
-            garbage_pct_mean: metrics.garbage_pct_mean(),
-            gc_io_pct: metrics.gc_io_pct(store.io().app_total(), store.io().gc_total()),
-            collections: records,
-            app_io_total: store.io().app_total(),
-            gc_io_total: store.io().gc_total(),
-            total_garbage_generated: store.total_garbage_generated(),
-            total_garbage_collected: store.total_garbage_collected(),
-            final_db_size: store.db_size_bytes(),
-            final_live_bytes: store.live_bytes(),
-            final_garbage_bytes: store.garbage_bytes(),
-            partition_count: store.partition_count() as u64,
-            overwrite_clock: store.overwrite_clock(),
-            events_replayed,
-            phases,
-        })
+        Ok(engine.into_result(phases))
     }
-}
 
-/// The cumulative counters telemetry samples after each event.
-fn snapshot(store: &Store) -> EventSnapshot {
-    EventSnapshot {
-        app_io_total: store.io().app_total(),
-        gc_io_total: store.io().gc_total(),
-        overwrite_clock: store.overwrite_clock(),
-        garbage_bytes: store.garbage_bytes(),
-        db_size: store.db_size_bytes(),
+    /// Replays `trace` under `policy`, collecting per the configuration.
+    #[deprecated(note = "use `Simulator::replay(&trace, policy, ReplayOptions::new())`")]
+    pub fn run(&self, trace: &Trace, policy: &mut dyn RatePolicy) -> Result<RunResult, SimError> {
+        self.replay(trace, policy, ReplayOptions::new())
+            .map_err(ReplayError::into_sim)
+    }
+
+    /// Like `run`, additionally recording a [`RunTelemetry`]: the
+    /// per-decision policy log and per-phase accounting.
+    #[deprecated(note = "use `Simulator::replay` with `ReplayOptions::new().telemetry(&mut sink)`")]
+    pub fn run_with_telemetry(
+        &self,
+        trace: &Trace,
+        policy: &mut dyn RatePolicy,
+    ) -> Result<(RunResult, RunTelemetry), SimError> {
+        let mut telemetry = RunTelemetry::new(policy.name());
+        self.replay(
+            trace,
+            policy,
+            ReplayOptions::new().telemetry(&mut telemetry),
+        )
+        .map(|result| (result, telemetry))
+        .map_err(ReplayError::into_sim)
+    }
+
+    /// Replays a fallible *stream* of events under `policy`.
+    #[deprecated(note = "use `Simulator::replay` with an `EventStream` source")]
+    pub fn run_streaming<E>(
+        &self,
+        phase_names: &[String],
+        events: impl IntoIterator<Item = Result<Event, E>>,
+        policy: &mut dyn RatePolicy,
+    ) -> Result<RunResult, ReplayError<E>> {
+        self.replay(
+            EventStream::new(phase_names.to_vec(), events),
+            policy,
+            ReplayOptions::new(),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use odbgc_core::{CollectionObservation, Trigger};
     use odbgc_core::{EstimatorKind, Oracle};
     use odbgc_core::{FixedRatePolicy, SagaConfig, SagaPolicy, SaioPolicy};
     use odbgc_oo7::{Oo7App, Oo7Params};
@@ -424,12 +348,18 @@ mod tests {
         Oo7App::standard(Oo7Params::tiny(), seed).generate().0
     }
 
+    fn replay(sim: &Simulator, trace: &Trace, policy: &mut dyn RatePolicy) -> RunResult {
+        sim.replay(trace, policy, ReplayOptions::new())
+            .map_err(ReplayError::into_sim)
+            .expect("run")
+    }
+
     #[test]
     fn fixed_rate_collects_on_schedule() {
         let trace = tiny_trace(1);
         let sim = Simulator::new(SimConfig::tiny());
         let mut policy = FixedRatePolicy::new(20);
-        let r = sim.run(&trace, &mut policy).expect("run");
+        let r = replay(&sim, &trace, &mut policy);
         assert!(r.collection_count() > 0, "reorgs must trigger collections");
         // Every realized interval reaches the trigger threshold.
         for rec in &r.collections {
@@ -443,7 +373,7 @@ mod tests {
         let trace = tiny_trace(2);
         let sim = Simulator::new(SimConfig::tiny());
         let mut policy = SaioPolicy::with_frac(0.10);
-        let r = sim.run(&trace, &mut policy).expect("run");
+        let r = replay(&sim, &trace, &mut policy);
         assert!(r.collection_count() > 2);
         assert!(r.gc_io_total > 0);
         assert!(r.gc_io_pct.is_some());
@@ -456,7 +386,7 @@ mod tests {
         cfg.shadow_estimator = Some(EstimatorKind::Oracle);
         let sim = Simulator::new(cfg);
         let mut policy = SagaPolicy::new(SagaConfig::new(0.10), Box::new(Oracle));
-        let r = sim.run(&trace, &mut policy).expect("run");
+        let r = replay(&sim, &trace, &mut policy);
         assert!(r.collection_count() > 0);
         // Shadow oracle estimates equal the recorded actual garbage.
         for rec in &r.collections {
@@ -469,7 +399,7 @@ mod tests {
         let trace = tiny_trace(4);
         let sim = Simulator::new(SimConfig::tiny());
         let mut policy = FixedRatePolicy::new(50);
-        let r = sim.run(&trace, &mut policy).expect("run");
+        let r = replay(&sim, &trace, &mut policy);
         let names: Vec<&str> = r.phases.iter().map(|(n, _, _)| n.as_str()).collect();
         assert_eq!(names, vec!["GenDB", "Reorg1", "Traverse", "Reorg2"]);
         // Phase event indices are increasing.
@@ -481,7 +411,7 @@ mod tests {
         let trace = tiny_trace(5);
         let sim = Simulator::new(SimConfig::tiny());
         let mut policy = FixedRatePolicy::new(u64::MAX / 4);
-        let r = sim.run(&trace, &mut policy).expect("run");
+        let r = replay(&sim, &trace, &mut policy);
         assert_eq!(r.collection_count(), 0);
         assert_eq!(r.gc_io_total, 0);
         assert_eq!(r.final_garbage_bytes, r.total_garbage_generated);
@@ -493,7 +423,7 @@ mod tests {
         let sim = Simulator::new(SimConfig::tiny());
         let run = || {
             let mut policy = SaioPolicy::with_frac(0.05);
-            sim.run(&trace, &mut policy).expect("run")
+            replay(&sim, &trace, &mut policy)
         };
         let (a, b) = (run(), run());
         assert_eq!(a.collections, b.collections);
@@ -508,9 +438,66 @@ mod tests {
         let trace = b.finish();
         let sim = Simulator::new(SimConfig::tiny());
         let mut policy = FixedRatePolicy::new(10);
-        let e = sim.run(&trace, &mut policy).unwrap_err();
+        let e = sim
+            .replay(&trace, &mut policy, ReplayOptions::new())
+            .map_err(ReplayError::into_sim)
+            .unwrap_err();
         assert_eq!(e.event_index, 0);
         assert!(e.to_string().contains("event 0"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_replay() {
+        let trace = tiny_trace(12);
+        let sim = Simulator::new(SimConfig::tiny());
+        let via_replay = {
+            let mut p = SaioPolicy::with_frac(0.10);
+            replay(&sim, &trace, &mut p)
+        };
+        let via_run = {
+            let mut p = SaioPolicy::with_frac(0.10);
+            sim.run(&trace, &mut p).expect("run")
+        };
+        assert_eq!(via_replay, via_run);
+        let (via_telemetry, _) = {
+            let mut p = SaioPolicy::with_frac(0.10);
+            sim.run_with_telemetry(&trace, &mut p).expect("run")
+        };
+        assert_eq!(via_replay, via_telemetry);
+        let via_streaming = {
+            let mut p = SaioPolicy::with_frac(0.10);
+            sim.run_streaming(
+                trace.phase_names(),
+                trace.iter().cloned().map(Ok::<_, Infallible>),
+                &mut p,
+            )
+            .expect("run")
+        };
+        assert_eq!(via_replay, via_streaming);
+    }
+
+    #[test]
+    fn event_stream_source_matches_borrowed_trace() {
+        let trace = tiny_trace(11);
+        let sim = Simulator::new(SimConfig::tiny());
+        let borrowed = {
+            let mut p = SaioPolicy::with_frac(0.10);
+            replay(&sim, &trace, &mut p)
+        };
+        let streamed = {
+            let mut p = SaioPolicy::with_frac(0.10);
+            sim.replay(
+                EventStream::new(
+                    trace.phase_names().to_vec(),
+                    trace.iter().cloned().map(Ok::<_, Infallible>),
+                ),
+                &mut p,
+                ReplayOptions::new(),
+            )
+            .expect("run")
+        };
+        assert_eq!(borrowed, streamed);
     }
 
     /// A policy whose hand-built zero trigger is due before any activity
@@ -560,9 +547,7 @@ mod tests {
         let trace = b.finish();
 
         let mut policy = EagerPolicy { initial_calls: 0 };
-        let r = Simulator::new(SimConfig::tiny())
-            .run(&trace, &mut policy)
-            .expect("replays");
+        let r = replay(&Simulator::new(SimConfig::tiny()), &trace, &mut policy);
         assert_eq!(
             policy.initial_calls,
             1 + 5,
@@ -578,7 +563,7 @@ mod tests {
         let cfg = SimConfig::tiny(); // preamble 2
         let sim = Simulator::new(cfg);
         let mut policy = SaioPolicy::with_frac(0.10);
-        let r = sim.run(&trace, &mut policy).expect("run");
+        let r = replay(&sim, &trace, &mut policy);
         assert!(r.collection_count() > 2);
         let post_hoc = r.windowed_gc_io_pct(2).expect("window exists");
         let live = r.gc_io_pct.expect("window exists");
@@ -596,11 +581,16 @@ mod tests {
         let sim = Simulator::new(SimConfig::tiny());
         let plain = {
             let mut p = SaioPolicy::with_frac(0.10);
-            sim.run(&trace, &mut p).expect("run")
+            replay(&sim, &trace, &mut p)
         };
         let (instrumented, telemetry) = {
             let mut p = SaioPolicy::with_frac(0.10);
-            sim.run_with_telemetry(&trace, &mut p).expect("run")
+            let mut sink = RunTelemetry::new(p.name());
+            let r = sim
+                .replay(&trace, &mut p, ReplayOptions::new().telemetry(&mut sink))
+                .map_err(ReplayError::into_sim)
+                .expect("run");
+            (r, sink)
         };
         // The telemetry sink must be a pure observer: identical results.
         assert_eq!(plain, instrumented);
@@ -625,7 +615,7 @@ mod tests {
         let sim = Simulator::new(SimConfig::tiny());
         let run = |rate| {
             let mut p = FixedRatePolicy::new(rate);
-            sim.run(&trace, &mut p).expect("run")
+            replay(&sim, &trace, &mut p)
         };
         let fast = run(10);
         let slow = run(200);

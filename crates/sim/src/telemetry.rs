@@ -14,8 +14,9 @@
 //! * **plan-level telemetry** — per-job wall times, cache/corpus tiers,
 //!   the failure list, and worker-pool utilization ([`PlanTelemetry`]).
 //!
-//! Telemetry is strictly off the hot path: [`crate::Simulator::run`]
-//! records nothing, and `run_with_telemetry` produces a byte-identical
+//! Telemetry is strictly off the hot path: a plain
+//! [`crate::Simulator::replay`] records nothing, and attaching a sink via
+//! [`crate::ReplayOptions::telemetry`] produces a byte-identical
 //! `RunResult` plus the telemetry on the side.
 //!
 //! # Export format
@@ -37,9 +38,12 @@
 
 use std::time::Duration;
 
-use odbgc_core::{ClampHit, CollectionObservation, Trigger};
+use odbgc_core::ClampHit;
+use odbgc_engine::{CounterSnapshot, EngineObserver};
 
 use crate::runner::{ExperimentPlan, PlanOutcome};
+
+pub use odbgc_engine::DecisionRecord;
 
 /// Schema identifier every telemetry document leads with.
 pub const SCHEMA_NAME: &str = "odbgc-telemetry";
@@ -480,77 +484,50 @@ pub fn verify_header(doc: &Json) -> Result<String, String> {
 // Run telemetry
 // ---------------------------------------------------------------------
 
-/// One policy trigger decision: what the policy saw and what it chose.
-#[derive(Debug, Clone, PartialEq)]
-pub struct DecisionRecord {
-    /// Decision index (equals the collection index it followed).
-    pub index: u64,
-    /// The observation handed to `after_collection`.
-    pub observation: CollectionObservation,
-    /// The trigger the policy returned.
-    pub trigger: Trigger,
-    /// Whether a configured clamp bounded the decision.
-    pub clamp: ClampHit,
-    /// The shadow estimator's `ActGarb` for this observation, if a
-    /// shadow estimator was configured.
-    pub estimated_garbage: Option<f64>,
-}
-
-impl DecisionRecord {
-    /// Signed estimator error: `estimated − exact_garbage` bytes.
-    pub fn estimate_error(&self) -> Option<f64> {
-        self.estimated_garbage
-            .map(|e| e - self.observation.exact_garbage as f64)
-    }
-
-    fn to_json(&self) -> Json {
-        let o = &self.observation;
-        Json::Obj(vec![
-            ("index".into(), Json::u64(self.index)),
-            ("clamp".into(), Json::str(self.clamp.as_str())),
-            (
-                "trigger".into(),
-                Json::Obj(vec![
-                    ("app_io".into(), Json::opt_u64(self.trigger.app_io)),
-                    ("overwrites".into(), Json::opt_u64(self.trigger.overwrites)),
-                    (
-                        "alloc_bytes".into(),
-                        Json::opt_u64(self.trigger.alloc_bytes),
-                    ),
-                ]),
-            ),
-            (
-                "estimated_garbage".into(),
-                Json::opt_f64(self.estimated_garbage),
-            ),
-            (
-                "estimate_error".into(),
-                Json::opt_f64(self.estimate_error()),
-            ),
-            (
-                "observation".into(),
-                Json::Obj(vec![
-                    ("gc_io".into(), Json::u64(o.gc_io)),
-                    ("app_io_since_prev".into(), Json::u64(o.app_io_since_prev)),
-                    ("bytes_reclaimed".into(), Json::u64(o.bytes_reclaimed)),
-                    (
-                        "overwrites_of_collected".into(),
-                        Json::u64(o.overwrites_of_collected),
-                    ),
-                    (
-                        "total_outstanding_overwrites".into(),
-                        Json::u64(o.total_outstanding_overwrites),
-                    ),
-                    ("partition_count".into(), Json::u64(o.partition_count)),
-                    ("db_size".into(), Json::u64(o.db_size)),
-                    ("total_collected".into(), Json::u64(o.total_collected)),
-                    ("overwrite_clock".into(), Json::u64(o.overwrite_clock)),
-                    ("alloc_clock".into(), Json::u64(o.alloc_clock)),
-                    ("exact_garbage".into(), Json::u64(o.exact_garbage)),
-                ]),
-            ),
-        ])
-    }
+/// The JSON form of one [`DecisionRecord`] (layout unchanged since the
+/// record lived in this module; it now comes from `odbgc-engine`, which
+/// stays JSON-free).
+fn decision_to_json(rec: &DecisionRecord) -> Json {
+    let o = &rec.observation;
+    Json::Obj(vec![
+        ("index".into(), Json::u64(rec.index)),
+        ("clamp".into(), Json::str(rec.clamp.as_str())),
+        (
+            "trigger".into(),
+            Json::Obj(vec![
+                ("app_io".into(), Json::opt_u64(rec.trigger.app_io)),
+                ("overwrites".into(), Json::opt_u64(rec.trigger.overwrites)),
+                ("alloc_bytes".into(), Json::opt_u64(rec.trigger.alloc_bytes)),
+            ]),
+        ),
+        (
+            "estimated_garbage".into(),
+            Json::opt_f64(rec.estimated_garbage),
+        ),
+        ("estimate_error".into(), Json::opt_f64(rec.estimate_error())),
+        (
+            "observation".into(),
+            Json::Obj(vec![
+                ("gc_io".into(), Json::u64(o.gc_io)),
+                ("app_io_since_prev".into(), Json::u64(o.app_io_since_prev)),
+                ("bytes_reclaimed".into(), Json::u64(o.bytes_reclaimed)),
+                (
+                    "overwrites_of_collected".into(),
+                    Json::u64(o.overwrites_of_collected),
+                ),
+                (
+                    "total_outstanding_overwrites".into(),
+                    Json::u64(o.total_outstanding_overwrites),
+                ),
+                ("partition_count".into(), Json::u64(o.partition_count)),
+                ("db_size".into(), Json::u64(o.db_size)),
+                ("total_collected".into(), Json::u64(o.total_collected)),
+                ("overwrite_clock".into(), Json::u64(o.overwrite_clock)),
+                ("alloc_clock".into(), Json::u64(o.alloc_clock)),
+                ("exact_garbage".into(), Json::u64(o.exact_garbage)),
+            ]),
+        ),
+    ])
 }
 
 /// Accounting for one workload phase of a run.
@@ -590,17 +567,6 @@ impl PhaseTelemetry {
             ),
         ])
     }
-}
-
-/// Running totals snapshot handed to the telemetry accumulator after
-/// each event (all cumulative since the start of the run).
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct EventSnapshot {
-    pub app_io_total: u64,
-    pub gc_io_total: u64,
-    pub overwrite_clock: u64,
-    pub garbage_bytes: u64,
-    pub db_size: u64,
 }
 
 /// In-progress accounting for the current phase.
@@ -662,7 +628,7 @@ impl RunTelemetry {
     /// An empty telemetry sink for a run under the named policy. Events
     /// preceding the first phase marker accrue to an implicit `<start>`
     /// phase (dropped if it stays empty).
-    pub(crate) fn new(policy: String) -> Self {
+    pub fn new(policy: String) -> Self {
         RunTelemetry {
             policy,
             decisions: Vec::new(),
@@ -671,8 +637,20 @@ impl RunTelemetry {
         }
     }
 
+    /// A telemetry document for a run whose decisions were logged
+    /// elsewhere — e.g. a serve-mode shard's `DecisionLog`, whose records
+    /// come from live I/O counters. Such runs have no trace phases.
+    pub fn from_decisions(policy: String, decisions: Vec<DecisionRecord>) -> Self {
+        RunTelemetry {
+            policy,
+            decisions,
+            phases: Vec::new(),
+            current: None,
+        }
+    }
+
     /// Closes the current phase and opens `name`.
-    pub(crate) fn enter_phase(&mut self, name: &str, snap: EventSnapshot) {
+    pub(crate) fn enter_phase(&mut self, name: &str, snap: CounterSnapshot) {
         if let Some(acc) = self.current.take() {
             // The implicit start phase vanishes if nothing happened in it.
             if !(acc.name == "<start>" && acc.events == 0) {
@@ -692,7 +670,7 @@ impl RunTelemetry {
     }
 
     /// Accounts one replayed event to the current phase.
-    pub(crate) fn note_event(&mut self, snap: EventSnapshot) {
+    fn account_event(&mut self, snap: CounterSnapshot) {
         let acc = self.current.as_mut().expect("telemetry not finished");
         acc.events += 1;
         if snap.db_size > 0 {
@@ -702,7 +680,7 @@ impl RunTelemetry {
     }
 
     /// Records one policy decision (one per collection).
-    pub(crate) fn note_decision(&mut self, record: DecisionRecord) {
+    fn account_decision(&mut self, record: DecisionRecord) {
         if let Some(acc) = self.current.as_mut() {
             acc.collections += 1;
         }
@@ -710,7 +688,7 @@ impl RunTelemetry {
     }
 
     /// Closes the final phase.
-    pub(crate) fn finish(&mut self, snap: EventSnapshot) {
+    pub(crate) fn finish(&mut self, snap: CounterSnapshot) {
         if let Some(acc) = self.current.take() {
             if !(acc.name == "<start>" && acc.events == 0) {
                 self.phases.push(acc.close(
@@ -757,9 +735,23 @@ impl RunTelemetry {
             ),
             (
                 "decisions".into(),
-                Json::Arr(self.decisions.iter().map(DecisionRecord::to_json).collect()),
+                Json::Arr(self.decisions.iter().map(decision_to_json).collect()),
             ),
         ])
+    }
+}
+
+/// The telemetry sink observes the engine directly: per-event counter
+/// snapshots accrue to the current phase, decisions are recorded
+/// verbatim. This is how [`crate::Simulator::replay`] attaches telemetry
+/// — the engine never learns what a telemetry document is.
+impl EngineObserver for RunTelemetry {
+    fn note_event(&mut self, snap: CounterSnapshot) {
+        self.account_event(snap);
+    }
+
+    fn note_decision(&mut self, record: &DecisionRecord) {
+        self.account_decision(record.clone());
     }
 }
 
@@ -1008,7 +1000,7 @@ mod tests {
     #[test]
     fn phase_accumulator_reports_deltas_not_totals() {
         let mut t = RunTelemetry::new("test".into());
-        let snap = |app, gc, ow, garbage, db| EventSnapshot {
+        let snap = |app, gc, ow, garbage, db| CounterSnapshot {
             app_io_total: app,
             gc_io_total: gc,
             overwrite_clock: ow,
@@ -1038,7 +1030,7 @@ mod tests {
     #[test]
     fn empty_start_phase_is_dropped() {
         let mut t = RunTelemetry::new("test".into());
-        let snap = EventSnapshot {
+        let snap = CounterSnapshot {
             app_io_total: 0,
             gc_io_total: 0,
             overwrite_clock: 0,
@@ -1053,22 +1045,23 @@ mod tests {
     }
 
     #[test]
-    fn estimate_error_is_signed() {
+    fn from_decisions_builds_a_run_document() {
+        use odbgc_core::{CollectionObservation, Trigger};
         let rec = DecisionRecord {
             index: 0,
-            observation: CollectionObservation {
-                exact_garbage: 1_000,
-                ..CollectionObservation::zero()
-            },
-            trigger: Trigger::after_app_io(10),
+            observation: CollectionObservation::zero(),
+            trigger: Trigger::after_overwrites(5),
             clamp: ClampHit::None,
-            estimated_garbage: Some(750.0),
-        };
-        assert_eq!(rec.estimate_error(), Some(-250.0));
-        let no_shadow = DecisionRecord {
             estimated_garbage: None,
-            ..rec
         };
-        assert_eq!(no_shadow.estimate_error(), None);
+        let t = RunTelemetry::from_decisions("live".into(), vec![rec]);
+        let doc = t.to_json();
+        assert_eq!(verify_header(&doc).as_deref(), Ok("run"));
+        assert_eq!(doc.get("policy").and_then(Json::as_str), Some("live"));
+        assert_eq!(doc.get("decision_count").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            doc.get("phases").and_then(Json::as_arr).map(<[_]>::len),
+            Some(0)
+        );
     }
 }

@@ -72,7 +72,7 @@ proptest! {
         };
         let mut policy = build_policy(which, frac, rate);
         let r = Simulator::new(sim_config)
-            .run(&trace, policy.as_mut())
+            .replay(&trace, policy.as_mut(), odbgc_sim::ReplayOptions::new())
             .expect("synthetic workloads always replay");
         // Conservation holds for every combination.
         prop_assert_eq!(
@@ -103,7 +103,7 @@ proptest! {
             deep_checks: true,
             ..SimConfig::default()
         })
-        .run(&merged, &mut policy)
+        .replay(&merged, &mut policy, odbgc_sim::ReplayOptions::new())
         .expect("merged synthetic workloads replay");
         prop_assert_eq!(r.events_replayed, merged.len() as u64);
     }

@@ -6,10 +6,15 @@
 //! deterministic across worker counts once wall-clock fields are
 //! stripped.
 
-use odbgc_sim::core_policies::{EstimatorKind, PolicySpec, SagaConfig, SagaPolicy, SaioPolicy};
+use odbgc_sim::core_policies::{
+    EstimatorKind, PolicySpec, RatePolicy, SagaConfig, SagaPolicy, SaioPolicy,
+};
 use odbgc_sim::oo7::{Oo7App, Oo7Params};
 use odbgc_sim::trace::Trace;
-use odbgc_sim::{verify_header, ExperimentPlan, Json, PlanTelemetry, SimConfig, Simulator};
+use odbgc_sim::{
+    verify_header, ExperimentPlan, Json, PlanTelemetry, ReplayOptions, RunTelemetry, SimConfig,
+    Simulator,
+};
 
 fn tiny_trace(seed: u64) -> Trace {
     Oo7App::standard(Oo7Params::tiny(), seed).generate().0
@@ -21,11 +26,16 @@ fn telemetry_is_a_pure_observer_of_the_run() {
     let sim = Simulator::new(SimConfig::tiny());
     let plain = {
         let mut p = SaioPolicy::with_frac(0.08);
-        sim.run(&trace, &mut p).expect("run")
+        sim.replay(&trace, &mut p, ReplayOptions::new())
+            .expect("run")
     };
     let (instrumented, telemetry) = {
         let mut p = SaioPolicy::with_frac(0.08);
-        sim.run_with_telemetry(&trace, &mut p).expect("run")
+        let mut sink = RunTelemetry::new(p.name());
+        let r = sim
+            .replay(&trace, &mut p, ReplayOptions::new().telemetry(&mut sink))
+            .expect("run");
+        (r, sink)
     };
     assert_eq!(plain, instrumented, "telemetry must not perturb the run");
     assert_eq!(
@@ -40,7 +50,13 @@ fn run_export_round_trips_byte_identically() {
     let trace = tiny_trace(12);
     let sim = Simulator::new(SimConfig::tiny());
     let mut policy = SagaPolicy::new(SagaConfig::new(0.10), EstimatorKind::CgsCb.build());
-    let (_, telemetry) = sim.run_with_telemetry(&trace, &mut policy).expect("run");
+    let mut telemetry = RunTelemetry::new(policy.name());
+    sim.replay(
+        &trace,
+        &mut policy,
+        ReplayOptions::new().telemetry(&mut telemetry),
+    )
+    .expect("run");
     let doc = telemetry.to_json();
     let text = doc.to_string_pretty();
     let reparsed = Json::parse(&text).expect("export must parse");
@@ -66,7 +82,13 @@ fn decision_records_expose_estimator_error_against_exact_garbage() {
     cfg.shadow_estimator = Some(EstimatorKind::Oracle);
     let sim = Simulator::new(cfg);
     let mut policy = SaioPolicy::with_frac(0.10);
-    let (_, telemetry) = sim.run_with_telemetry(&trace, &mut policy).expect("run");
+    let mut telemetry = RunTelemetry::new(policy.name());
+    sim.replay(
+        &trace,
+        &mut policy,
+        ReplayOptions::new().telemetry(&mut telemetry),
+    )
+    .expect("run");
     assert!(!telemetry.decisions.is_empty());
     for d in &telemetry.decisions {
         // The shadow oracle is exact, so the signed error is zero.

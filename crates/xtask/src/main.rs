@@ -7,6 +7,15 @@
 //! No dependencies: the criterion shim's output format is fixed
 //! (`{name} time: [{lo} {med} {hi}] ...`), so a hand-rolled parser is
 //! enough.
+//!
+//! `bench-compare --check` is the CI ratchet: it runs the same suite and
+//! comparison but *never rewrites the baseline*, and exits nonzero when
+//! any tracked benchmark's median regresses beyond `--threshold` (a
+//! ratio; default 4.0, i.e. fail at >4× the baseline median — generous
+//! because CI hardware differs from the machine that blessed the
+//! baseline). Benchmarks whose baseline median is below `--min-ns`
+//! (default 20 ns) are reported but never fail the check: at that scale
+//! the shim's medians are dominated by timer noise.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -15,11 +24,62 @@ use std::process::{Command, Stdio};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("bench-compare") => bench_compare(),
+        Some("bench-compare") => match CheckOptions::parse(&args[1..]) {
+            Ok(opts) => bench_compare(opts),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
         _ => {
-            eprintln!("usage: cargo run -p xtask -- bench-compare");
+            eprintln!(
+                "usage: cargo run -p xtask -- bench-compare \
+                 [--check] [--threshold RATIO] [--min-ns NS]"
+            );
             std::process::exit(2);
         }
+    }
+}
+
+/// How `bench-compare` treats the baseline.
+struct CheckOptions {
+    /// Ratchet mode: compare only, never rewrite, exit 1 on regression.
+    check: bool,
+    /// Fail when `new_median > old_median * threshold`.
+    threshold: f64,
+    /// Baselines faster than this are exempt from failing (timer noise).
+    min_ns: f64,
+}
+
+impl CheckOptions {
+    fn parse(args: &[String]) -> Result<CheckOptions, String> {
+        let mut opts = CheckOptions {
+            check: false,
+            threshold: 4.0,
+            min_ns: 20.0,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--check" => opts.check = true,
+                "--threshold" => {
+                    opts.threshold = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|v: &f64| *v >= 1.0)
+                        .ok_or("--threshold wants a ratio >= 1.0")?;
+                }
+                "--min-ns" => {
+                    opts.min_ns = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|v: &f64| *v >= 0.0)
+                        .ok_or("--min-ns wants a non-negative number")?;
+                }
+                other => return Err(format!("unknown bench-compare flag {other:?}")),
+            }
+        }
+        Ok(opts)
     }
 }
 
@@ -31,7 +91,42 @@ struct Sample {
     hi_ns: f64,
 }
 
-fn bench_compare() {
+/// A tracked benchmark whose fresh median exceeded the ratchet.
+struct Regression {
+    name: String,
+    old_ns: f64,
+    new_ns: f64,
+}
+
+/// The ratchet comparison: every baseline benchmark that is present in
+/// the fresh run, at or above the noise floor, and slower than
+/// `threshold ×` its baseline median.
+fn find_regressions(
+    old: &[Sample],
+    new: &[Sample],
+    threshold: f64,
+    min_ns: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for o in old {
+        if o.med_ns < min_ns {
+            continue;
+        }
+        let Some(n) = new.iter().find(|n| n.name == o.name) else {
+            continue;
+        };
+        if n.med_ns > o.med_ns * threshold {
+            out.push(Regression {
+                name: o.name.clone(),
+                old_ns: o.med_ns,
+                new_ns: n.med_ns,
+            });
+        }
+    }
+    out
+}
+
+fn bench_compare(opts: CheckOptions) {
     let root = repo_root();
     let summary_path = root.join("reports/bench_summary.txt");
     let json_path = root.join("BENCH_5.json");
@@ -39,6 +134,14 @@ fn bench_compare() {
     let old = std::fs::read_to_string(&summary_path)
         .map(|s| parse_samples(&s))
         .unwrap_or_default();
+    if opts.check && old.is_empty() {
+        eprintln!(
+            "--check needs a baseline in {}; generate one with \
+             `cargo run -p xtask -- bench-compare`",
+            summary_path.display()
+        );
+        std::process::exit(2);
+    }
 
     eprintln!("running: cargo bench -p odbgc-bench");
     let out = Command::new("cargo")
@@ -58,7 +161,7 @@ fn bench_compare() {
         std::process::exit(1);
     }
 
-    // Comparison table on stdout, machine-readable copy in BENCH_5.json.
+    // Comparison table on stdout.
     let mut json = String::from("[\n");
     println!(
         "{:<40} {:>12} {:>12} {:>8}",
@@ -85,6 +188,36 @@ fn bench_compare() {
         );
     }
     json.push_str("]\n");
+
+    if opts.check {
+        // Ratchet mode: judge, never rewrite.
+        let regressions = find_regressions(&old, &new, opts.threshold, opts.min_ns);
+        if regressions.is_empty() {
+            eprintln!(
+                "bench ratchet OK: no tracked median beyond {:.2}x baseline \
+                 (noise floor {} ns)",
+                opts.threshold, opts.min_ns
+            );
+            return;
+        }
+        eprintln!(
+            "bench ratchet FAILED: {} tracked benchmark(s) beyond {:.2}x baseline:",
+            regressions.len(),
+            opts.threshold
+        );
+        for r in &regressions {
+            eprintln!(
+                "  {:<40} {} -> {} ({:.2}x)",
+                r.name,
+                fmt_time(r.old_ns),
+                fmt_time(r.new_ns),
+                r.new_ns / r.old_ns
+            );
+        }
+        std::process::exit(1);
+    }
+
+    // Baseline-refresh mode: machine-readable copy plus a new baseline.
     std::fs::write(&json_path, json).expect("write BENCH_5.json");
 
     let mut summary = String::from(
@@ -180,6 +313,15 @@ fn fmt_time(ns: f64) -> String {
 mod tests {
     use super::*;
 
+    fn sample(name: &str, med_ns: f64) -> Sample {
+        Sample {
+            name: name.to_string(),
+            lo_ns: med_ns * 0.9,
+            med_ns,
+            hi_ns: med_ns * 1.1,
+        }
+    }
+
     #[test]
     fn parses_bench_output_and_summary_lines() {
         let live = "oo7_replay/small_prime_conn3            time: [5.4615 ms 5.8916 ms 8.2349 ms]  (16613439 elem/s)   (512 iters)";
@@ -213,5 +355,48 @@ mod tests {
         assert_eq!(to_ns("2", "parsecs"), None);
         assert_eq!(fmt_time(5.8916e6), "5.8916 ms");
         assert_eq!(fmt_time(123.4), "123.4000 ns");
+    }
+
+    #[test]
+    fn ratchet_flags_only_regressions_beyond_threshold() {
+        let old = vec![sample("g/fast", 100.0), sample("g/slow", 1000.0)];
+        let new = vec![
+            sample("g/fast", 350.0),  // 3.5x: within a 4x ratchet
+            sample("g/slow", 4100.0), // 4.1x: beyond it
+        ];
+        let r = find_regressions(&old, &new, 4.0, 20.0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "g/slow");
+        assert_eq!(r[0].new_ns, 4100.0);
+    }
+
+    #[test]
+    fn ratchet_exempts_noise_floor_and_untracked_benchmarks() {
+        // 5 ns baseline: below the 20 ns floor, can never fail.
+        let old = vec![sample("g/tiny", 5.0), sample("g/gone", 500.0)];
+        let new = vec![sample("g/tiny", 500.0), sample("g/new", 1.0)];
+        assert!(find_regressions(&old, &new, 4.0, 20.0).is_empty());
+        // Lowering the floor brings the tiny benchmark into scope.
+        let r = find_regressions(&old, &new, 4.0, 0.0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "g/tiny");
+    }
+
+    #[test]
+    fn check_options_parse_and_reject() {
+        let args: Vec<String> = ["--check", "--threshold", "2.5", "--min-ns", "50"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = CheckOptions::parse(&args).unwrap();
+        assert!(o.check);
+        assert_eq!(o.threshold, 2.5);
+        assert_eq!(o.min_ns, 50.0);
+
+        assert!(CheckOptions::parse(&["--threshold".into(), "0.5".into()]).is_err());
+        assert!(CheckOptions::parse(&["--bogus".into()]).is_err());
+        let d = CheckOptions::parse(&[]).unwrap();
+        assert!(!d.check);
+        assert_eq!(d.threshold, 4.0);
     }
 }

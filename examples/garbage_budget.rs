@@ -28,7 +28,9 @@ fn main() {
         ("fgs-hb", EstimatorKind::fgs_hb_default()),
     ] {
         let mut policy = SagaPolicy::new(SagaConfig::new(requested / 100.0), kind.build());
-        let r = sim.run(&trace, &mut policy).expect("trace replays");
+        let r = sim
+            .replay(&trace, &mut policy, odbgc_sim::ReplayOptions::new())
+            .expect("trace replays");
         println!(
             "{:>9}  {:>9.2}  {:>11}  {:>12}  {:>12.2}",
             name,

@@ -21,7 +21,9 @@ fn main() {
     println!("requested%  achieved%  collections  garbage-left(KiB)  db-size(MB)");
     for requested in [2.0, 5.0, 10.0, 20.0, 35.0, 50.0] {
         let mut policy = SaioPolicy::with_frac(requested / 100.0);
-        let r = sim.run(&trace, &mut policy).expect("trace replays");
+        let r = sim
+            .replay(&trace, &mut policy, odbgc_sim::ReplayOptions::new())
+            .expect("trace replays");
         println!(
             "{:>9.1}  {:>9.2}  {:>11}  {:>17.1}  {:>11.2}",
             requested,

@@ -26,7 +26,7 @@ fn main() {
         EstimatorKind::fgs_hb_default().build(),
     );
     let r = Simulator::new(config)
-        .run(&trace, &mut policy)
+        .replay(&trace, &mut policy, odbgc_sim::ReplayOptions::new())
         .expect("trace replays");
 
     println!("SAGA (FGS/HB, requested 10% garbage) over the OO7 phases\n");

@@ -32,7 +32,7 @@ fn main() {
     // 3. Simulate: 8 KiB pages, 12-page partitions and buffer, the
     //    UPDATEDPOINTER partition-selection policy — the paper's setup.
     let result = Simulator::new(SimConfig::default())
-        .run(&trace, &mut policy)
+        .replay(&trace, &mut policy, odbgc_sim::ReplayOptions::new())
         .expect("trace replays cleanly");
 
     // 4. Inspect the outcome.

@@ -11,7 +11,7 @@
 
 use odbgc_core::PolicySpec;
 use odbgc_oo7::{Oo7App, Oo7Params};
-use odbgc_sim::{ExperimentPlan, PlanOutcome, SimConfig, Simulator};
+use odbgc_sim::{EventStream, ExperimentPlan, PlanOutcome, SimConfig, Simulator};
 use odbgc_trace::codec;
 use odbgc_tracefile::TraceReader;
 
@@ -121,7 +121,7 @@ fn streaming_replay_needs_no_in_memory_trace() {
     // In-memory replay of the materialized trace…
     let mut policy = PolicySpec::saio(0.10).build();
     let in_memory = Simulator::new(SimConfig::tiny())
-        .run(&trace, policy.as_mut())
+        .replay(&trace, policy.as_mut(), odbgc_sim::ReplayOptions::new())
         .unwrap();
 
     // …versus streaming replay straight off the file: the `Trace` value
@@ -132,7 +132,11 @@ fn streaming_replay_needs_no_in_memory_trace() {
         TraceReader::new(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
     let mut policy = PolicySpec::saio(0.10).build();
     let streamed = Simulator::new(SimConfig::tiny())
-        .run_streaming(&phase_names, reader, policy.as_mut())
+        .replay(
+            EventStream::new(phase_names.clone(), reader),
+            policy.as_mut(),
+            odbgc_sim::ReplayOptions::new(),
+        )
         .unwrap();
 
     assert_eq!(in_memory, streamed, "streaming must not change results");
@@ -148,7 +152,11 @@ fn streaming_replay_surfaces_source_errors_with_position() {
     let reader = TraceReader::new(bytes.as_slice()).unwrap();
     let mut policy = PolicySpec::saio(0.10).build();
     let err = Simulator::new(SimConfig::tiny())
-        .run_streaming(trace.phase_names(), reader, policy.as_mut())
+        .replay(
+            EventStream::new(trace.phase_names().to_vec(), reader),
+            policy.as_mut(),
+            odbgc_sim::ReplayOptions::new(),
+        )
         .unwrap_err();
     match err {
         odbgc_sim::ReplayError::Source { event_index, cause } => {

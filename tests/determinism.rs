@@ -25,7 +25,7 @@ fn full_trace_survives_codec_round_trip() {
     let run = |t| {
         let mut p = SaioPolicy::with_frac(0.10);
         Simulator::new(SimConfig::default())
-            .run(t, &mut p)
+            .replay(t, &mut p, odbgc_sim::ReplayOptions::new())
             .expect("replays")
     };
     let ra = run(&trace);
@@ -42,7 +42,7 @@ fn simulation_results_are_identical_across_repeated_runs() {
             EstimatorKind::fgs_hb_default().build(),
         );
         Simulator::new(SimConfig::default())
-            .run(&trace, &mut p)
+            .replay(&trace, &mut p, odbgc_sim::ReplayOptions::new())
             .expect("replays")
     };
     let a = run();
@@ -68,7 +68,7 @@ fn parallel_experiment_matches_sequential_runs() {
         let trace = Oo7App::standard(params, *seed).generate().0;
         let mut p = SaioPolicy::with_frac(0.05);
         let solo = Simulator::new(config.clone())
-            .run(&trace, &mut p)
+            .replay(&trace, &mut p, odbgc_sim::ReplayOptions::new())
             .expect("replays");
         let run = parallel.runs[i].as_ref().expect("job succeeded");
         assert_eq!(run.collections, solo.collections);

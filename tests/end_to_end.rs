@@ -11,7 +11,7 @@ use odbgc_sim::{RunResult, SimConfig, Simulator};
 fn run_small_prime(policy: &mut dyn RatePolicy) -> RunResult {
     let (trace, _) = Oo7App::standard(Oo7Params::small_prime(3), 1).generate();
     Simulator::new(SimConfig::default())
-        .run(&trace, policy)
+        .replay(&trace, policy, odbgc_sim::ReplayOptions::new())
         .expect("Small' trace replays cleanly")
 }
 
@@ -125,7 +125,7 @@ fn connectivity_9_replays_cleanly() {
     assert_eq!(chars.counts[&odbgc_sim::oo7::Kind::Connection], 27_000);
     let mut policy = SaioPolicy::with_frac(0.10);
     let r = Simulator::new(SimConfig::default())
-        .run(&trace, &mut policy)
+        .replay(&trace, &mut policy, odbgc_sim::ReplayOptions::new())
         .expect("conn-9 trace replays");
     check_accounting(&r);
 }
@@ -141,7 +141,7 @@ fn deep_checked_full_run_stays_structurally_consistent() {
     };
     let mut policy = SaioPolicy::with_frac(0.10);
     let r = Simulator::new(config)
-        .run(&trace, &mut policy)
+        .replay(&trace, &mut policy, odbgc_sim::ReplayOptions::new())
         .expect("deep-checked run succeeds");
     assert!(r.collection_count() > 10);
 }

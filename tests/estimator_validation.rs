@@ -14,7 +14,7 @@ fn run_with(kind: EstimatorKind) -> RunResult {
     };
     let mut policy = SagaPolicy::new(SagaConfig::new(0.10), kind.build());
     Simulator::new(config)
-        .run(&trace, &mut policy)
+        .replay(&trace, &mut policy, odbgc_sim::ReplayOptions::new())
         .expect("trace replays")
 }
 
@@ -99,7 +99,7 @@ fn figure7a_history_damps_estimate_noise() {
         // so the estimator comparison is apples to apples.
         let mut policy = odbgc_sim::core_policies::FixedRatePolicy::new(200);
         let r = Simulator::new(config)
-            .run(&trace, &mut policy)
+            .replay(&trace, &mut policy, odbgc_sim::ReplayOptions::new())
             .expect("replays");
         let errs: Vec<f64> = r
             .collections

@@ -17,7 +17,7 @@ fn small_prime_trace(connectivity: u32, seed: u64) -> Trace {
 
 fn run(trace: &Trace, policy: &mut dyn RatePolicy) -> RunResult {
     Simulator::new(SimConfig::default())
-        .run(trace, policy)
+        .replay(trace, policy, odbgc_sim::ReplayOptions::new())
         .expect("trace replays")
 }
 

@@ -22,13 +22,29 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let telemetry_path = flags.get("telemetry");
     let preamble: u64 = flags.get_or("preamble", 10)?;
     let store_geometry = flags.get("store");
+    let mmap: bool = flags.get_or("mmap", false)?;
     flags.finish()?;
 
-    let trace = match trace_path {
-        Some(path) => load_trace(&path)?,
-        None => {
+    // With `--mmap true` a binary tracefile is replayed straight off a
+    // read-only memory map in decoded-block batches — the whole trace is
+    // never materialized in memory. The RunResult is identical to the
+    // in-memory path (see the sim crate's equivalence tests and the CI
+    // smoke diff).
+    let mapped_path = match (&trace_path, mmap) {
+        (Some(path), true) => Some(path.clone()),
+        (None, true) => {
+            return Err(CliError(
+                "--mmap true needs --trace <file.otb> (a binary tracefile)".into(),
+            ))
+        }
+        _ => None,
+    };
+    let trace = match (&trace_path, &mapped_path) {
+        (_, Some(_)) => None,
+        (Some(path), None) => Some(load_trace(path)?),
+        (None, None) => {
             let params = spec::build_params(params_name.as_deref(), conn, style.as_deref())?;
-            Oo7App::standard(params, seed).generate().0
+            Some(Oo7App::standard(params, seed).generate().0)
         }
     };
 
@@ -50,16 +66,47 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         config.selector_seed = seed;
     }
     let mut policy = spec::build_policy(&policy_spec)?;
-    let result = match &telemetry_path {
-        None => run_single(&trace, &config, policy.as_mut())
-            .map_err(|e| CliError(format!("simulation failed: {e}")))?,
-        Some(path) => {
+    let result = match (&mapped_path, &telemetry_path) {
+        (Some(trace_file), telemetry_path) => {
+            let reader = odbgc_tracefile::open_batches(std::path::Path::new(trace_file))
+                .map_err(|e| CliError(format!("{trace_file}: {e}")))?;
+            let sim = Simulator::new(config.clone());
+            let fail = |e: odbgc_sim::ReplayError<odbgc_tracefile::DecodeError>| {
+                CliError(format!("simulation failed: {e}"))
+            };
+            match telemetry_path {
+                None => sim
+                    .replay_batched(reader, policy.as_mut(), ReplayOptions::new())
+                    .map_err(fail)?,
+                Some(path) => {
+                    let mut telemetry = RunTelemetry::new(policy.name());
+                    let result = sim
+                        .replay_batched(
+                            reader,
+                            policy.as_mut(),
+                            ReplayOptions::new().telemetry(&mut telemetry),
+                        )
+                        .map_err(fail)?;
+                    let json = telemetry.to_json().to_string_pretty();
+                    std::fs::write(path, json)
+                        .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+                    result
+                }
+            }
+        }
+        (None, None) => {
+            let trace = trace.as_ref().expect("in-memory path has a trace");
+            run_single(trace, &config, policy.as_mut())
+                .map_err(|e| CliError(format!("simulation failed: {e}")))?
+        }
+        (None, Some(path)) => {
             // The instrumented path produces the exact same RunResult;
             // the telemetry sink is a pure observer (see sim tests).
+            let trace = trace.as_ref().expect("in-memory path has a trace");
             let mut telemetry = RunTelemetry::new(policy.name());
             let result = Simulator::new(config.clone())
                 .replay(
-                    &trace,
+                    trace,
                     policy.as_mut(),
                     ReplayOptions::new().telemetry(&mut telemetry),
                 )
@@ -215,6 +262,37 @@ mod tests {
             .join("\n");
         assert_eq!(plain, stripped);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_replay_report_matches_in_memory() {
+        let dir =
+            std::env::temp_dir().join(format!("odbgc-cli-test-run-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.otb");
+        crate::commands::generate::run(&argv(&format!(
+            "--out {} --params tiny --conn 2 --seed 5",
+            path.display()
+        )))
+        .unwrap();
+        let in_memory = run(&argv(&format!(
+            "--policy saio:10% --store tiny --preamble 2 --trace {}",
+            path.display()
+        )))
+        .unwrap();
+        let mapped = run(&argv(&format!(
+            "--policy saio:10% --store tiny --preamble 2 --trace {} --mmap true",
+            path.display()
+        )))
+        .unwrap();
+        assert_eq!(in_memory, mapped, "mmap replay must not change the report");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_without_trace_errors() {
+        let err = run(&argv("--policy saio:10% --params tiny --mmap true")).unwrap_err();
+        assert!(err.to_string().contains("--trace"), "{err}");
     }
 
     #[test]

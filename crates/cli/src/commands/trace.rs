@@ -1,17 +1,84 @@
 //! `odbgc trace` — tracefile utilities: convert, stat, verify, cat.
 //!
-//! All four subcommands stream binary tracefiles through
-//! [`odbgc_tracefile::TraceReader`] — none of them needs the whole trace
-//! in memory, so they work on corpora far larger than RAM.
+//! All four subcommands process binary tracefiles block by block — none
+//! of them holds more than one decoded block (plus a reusable text
+//! buffer) in memory, so they work on corpora far larger than RAM.
+//! `stat`, `verify`, and `cat` additionally accept `--mmap true` to read
+//! through a read-only memory map instead of buffered I/O (heap usage is
+//! still one block either way; see `odbgc_tracefile::mmap` for the
+//! safety argument and fallback conditions).
 
 use std::io::{BufReader, BufWriter, Write as _};
 
 use odbgc_trace::{codec, Event};
-use odbgc_tracefile::{TraceReader, TraceWriter};
+use odbgc_tracefile::{
+    BatchReader, DecodeError, FileBatches, ReadBlocks, TraceReader, TraceWriter,
+};
 
 use crate::commands::{load_trace, TraceFormat};
 use crate::flags::Flags;
 use crate::CliError;
+
+/// A batched block reader over either backing: buffered streaming I/O or
+/// a read-only memory map. One decoded block resident at a time in both.
+enum AnyBatches {
+    Stream(BatchReader<ReadBlocks<BufReader<std::fs::File>>>),
+    Mapped(FileBatches),
+}
+
+impl AnyBatches {
+    /// Opens `path`, mapping it when `mmap` is set.
+    fn open(path: &str, mmap: bool) -> Result<Self, CliError> {
+        if mmap {
+            odbgc_tracefile::open_batches(std::path::Path::new(path))
+                .map(AnyBatches::Mapped)
+                .map_err(|e| match e {
+                    DecodeError::Io(e) => CliError(format!("cannot read {path:?}: {e}")),
+                    e => CliError(format!("{path}: {e}")),
+                })
+        } else {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?;
+            ReadBlocks::new(BufReader::new(file))
+                .and_then(BatchReader::new)
+                .map(AnyBatches::Stream)
+                .map_err(|e| CliError(format!("{path}: {e}")))
+        }
+    }
+
+    fn phase_names(&self) -> &[String] {
+        match self {
+            AnyBatches::Stream(r) => r.phase_names(),
+            AnyBatches::Mapped(r) => r.phase_names(),
+        }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<&[Event]>, DecodeError> {
+        match self {
+            AnyBatches::Stream(r) => r.next_batch(),
+            AnyBatches::Mapped(r) => r.next_batch(),
+        }
+    }
+
+    fn events_read(&self) -> u64 {
+        match self {
+            AnyBatches::Stream(r) => r.events_read(),
+            AnyBatches::Mapped(r) => r.events_read(),
+        }
+    }
+
+    fn blocks_read(&self) -> u64 {
+        match self {
+            AnyBatches::Stream(r) => r.blocks_read(),
+            AnyBatches::Mapped(r) => r.blocks_read(),
+        }
+    }
+}
+
+/// The shared `--mmap true|false` flag (default: buffered streaming).
+fn mmap_flag(flags: &Flags) -> Result<bool, CliError> {
+    flags.get_or("mmap", false)
+}
 
 /// Dispatches `odbgc trace <subcommand>`.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -119,10 +186,24 @@ fn convert(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
-/// `odbgc trace stat --trace <file>` — event census and size figures.
+/// Event-kind census bucket index.
+fn bucket(ev: &Event) -> usize {
+    match ev {
+        Event::Create { .. } => 0,
+        Event::Access { .. } => 1,
+        Event::SlotWrite { .. } => 2,
+        Event::RootAdd { .. } => 3,
+        Event::RootRemove { .. } => 4,
+        Event::Phase { .. } => 5,
+    }
+}
+
+/// `odbgc trace stat --trace <file> [--mmap true]` — event census and
+/// size figures, block-at-a-time.
 fn stat(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args)?;
     let path = flags.require("trace")?;
+    let mmap = mmap_flag(&flags)?;
     flags.finish()?;
 
     let size = std::fs::metadata(&path)
@@ -140,33 +221,24 @@ fn stat(args: &[String]) -> Result<String, CliError> {
     let mut counts = [0u64; 6];
     let mut phases: Vec<String>;
     if is_bin {
-        let reader = open_binary(&path)?;
-        phases = reader.phase_names().to_vec();
-        let mut tally = |ev: &Event| {
-            counts[match ev {
-                Event::Create { .. } => 0,
-                Event::Access { .. } => 1,
-                Event::SlotWrite { .. } => 2,
-                Event::RootAdd { .. } => 3,
-                Event::RootRemove { .. } => 4,
-                Event::Phase { .. } => 5,
-            }] += 1;
-        };
-        for ev in reader {
-            tally(&ev.map_err(|e| CliError(format!("{path}: {e}")))?);
+        let mut reader = AnyBatches::open(&path, mmap)?;
+        loop {
+            match reader.next_batch() {
+                Ok(Some(batch)) => {
+                    for ev in batch {
+                        counts[bucket(ev)] += 1;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => return Err(CliError(format!("{path}: {e}"))),
+            }
         }
+        phases = reader.phase_names().to_vec();
     } else {
         let trace = load_trace(&path)?;
         phases = trace.phase_names().to_vec();
         for ev in trace.iter() {
-            counts[match ev {
-                Event::Create { .. } => 0,
-                Event::Access { .. } => 1,
-                Event::SlotWrite { .. } => 2,
-                Event::RootAdd { .. } => 3,
-                Event::RootRemove { .. } => 4,
-                Event::Phase { .. } => 5,
-            }] += 1;
+            counts[bucket(ev)] += 1;
         }
     }
     if phases.is_empty() {
@@ -194,36 +266,127 @@ fn stat(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
-/// `odbgc trace verify --trace <file>` — full streaming decode; any
-/// corruption (bad magic, checksum mismatch, truncation…) is a hard error
-/// with the tracefile's typed diagnosis.
+/// `odbgc trace verify --trace <file> [--mmap true]` — full decode,
+/// block-at-a-time; any corruption (bad magic, checksum mismatch,
+/// truncation…) is a hard error with the tracefile's typed diagnosis.
 fn verify(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args)?;
     let path = flags.require("trace")?;
+    let mmap = mmap_flag(&flags)?;
     flags.finish()?;
 
-    let mut reader = open_binary(&path)?;
-    let mut n = 0u64;
-    for ev in &mut reader {
-        ev.map_err(|e| CliError(format!("{path}: INVALID: {e}")))?;
-        n += 1;
+    let mut reader = AnyBatches::open(&path, mmap)?;
+    loop {
+        match reader.next_batch() {
+            Ok(Some(_)) => {}
+            Ok(None) => break,
+            Err(e) => return Err(CliError(format!("{path}: INVALID: {e}"))),
+        }
     }
     Ok(format!(
-        "{path}: OK ({n} events, {} blocks, {} phases)",
+        "{path}: OK ({} events, {} blocks, {} phases)",
+        reader.events_read(),
         reader.blocks_read(),
         reader.phase_names().len(),
     ))
 }
 
-/// `odbgc trace cat --trace <file> [--limit N]` — print events in the
-/// text format (binary inputs are streamed; output matches `convert`).
+/// Writes newline-terminated text chunks, withholding the final newline:
+/// the dispatch layer prints the command result with its own `writeln!`,
+/// so total output stays byte-identical to the old build-a-`String` cat
+/// while peak memory stays one chunk.
+struct ChunkWriter<W: std::io::Write> {
+    out: W,
+    owed_newline: bool,
+}
+
+impl<W: std::io::Write> ChunkWriter<W> {
+    fn chunk(&mut self, s: &str) -> std::io::Result<()> {
+        if s.is_empty() {
+            return Ok(());
+        }
+        if self.owed_newline {
+            self.out.write_all(b"\n")?;
+        }
+        match s.strip_suffix('\n') {
+            Some(stripped) => {
+                self.out.write_all(stripped.as_bytes())?;
+                self.owed_newline = true;
+            }
+            None => {
+                self.out.write_all(s.as_bytes())?;
+                self.owed_newline = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a streaming cat did, for tests: how many events were printed and
+/// the reusable text buffer's final capacity (its peak — `String` growth
+/// is monotone), which bounded-allocation tests compare against the
+/// whole file's size.
+#[cfg_attr(not(test), allow(dead_code))]
+struct CatStats {
+    events: u64,
+    peak_buf_bytes: usize,
+}
+
+/// Streams a binary tracefile as text into `out`, one block at a time:
+/// resident state is the reader's single decoded block plus one reused
+/// text buffer, never the whole file.
+fn cat_batches<W: std::io::Write>(
+    path: &str,
+    mut reader: AnyBatches,
+    limit: u64,
+    out: W,
+) -> Result<CatStats, CliError> {
+    let write_err = |e: std::io::Error| CliError(format!("cannot write output: {e}"));
+    let mut w = ChunkWriter {
+        out,
+        owed_newline: false,
+    };
+    w.chunk(&codec::encode_header(reader.phase_names()))
+        .map_err(write_err)?;
+    let mut buf = String::new();
+    let mut n = 0u64;
+    let mut truncated = false;
+    while !truncated {
+        let batch = match reader.next_batch() {
+            Ok(Some(batch)) => batch,
+            Ok(None) => break,
+            Err(e) => return Err(CliError(format!("{path}: {e}"))),
+        };
+        buf.clear();
+        for ev in batch {
+            if n >= limit {
+                buf.push_str("…\n");
+                truncated = true;
+                break;
+            }
+            codec::encode_event(&mut buf, ev);
+            n += 1;
+        }
+        w.chunk(&buf).map_err(write_err)?;
+    }
+    w.out.flush().map_err(write_err)?;
+    Ok(CatStats {
+        events: n,
+        peak_buf_bytes: buf.capacity(),
+    })
+}
+
+/// `odbgc trace cat --trace <file> [--limit N] [--mmap true]` — print
+/// events in the text format. Binary inputs stream block by block
+/// straight to stdout (output matches `convert`); text inputs are small
+/// enough to round-trip in memory.
 fn cat(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args)?;
     let path = flags.require("trace")?;
     let limit: u64 = flags.get_or("limit", u64::MAX)?;
+    let mmap = mmap_flag(&flags)?;
     flags.finish()?;
 
-    let mut out = String::new();
     let header = {
         let mut prefix = [0u8; 4];
         use std::io::Read as _;
@@ -232,26 +395,22 @@ fn cat(args: &[String]) -> Result<String, CliError> {
             .map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?
     };
     if odbgc_tracefile::is_binary(&header) {
-        let reader = open_binary(&path)?;
-        out.push_str(&codec::encode_header(reader.phase_names()));
-        for (i, ev) in reader.enumerate() {
-            if (i as u64) >= limit {
-                out.push_str("…\n");
-                break;
-            }
-            let ev = ev.map_err(|e| CliError(format!("{path}: {e}")))?;
-            codec::encode_event(&mut out, &ev);
+        let reader = AnyBatches::open(&path, mmap)?;
+        let stdout = std::io::stdout();
+        cat_batches(&path, reader, limit, BufWriter::new(stdout.lock()))?;
+        // Everything but the final newline is already on stdout; the
+        // dispatch layer's `writeln!` supplies that newline.
+        return Ok(String::new());
+    }
+    let trace = load_trace(&path)?;
+    let mut out = String::new();
+    out.push_str(&codec::encode_header(trace.phase_names()));
+    for (i, ev) in trace.iter().enumerate() {
+        if (i as u64) >= limit {
+            out.push_str("…\n");
+            break;
         }
-    } else {
-        let trace = load_trace(&path)?;
-        out.push_str(&codec::encode_header(trace.phase_names()));
-        for (i, ev) in trace.iter().enumerate() {
-            if (i as u64) >= limit {
-                out.push_str("…\n");
-                break;
-            }
-            codec::encode_event(&mut out, ev);
-        }
+        codec::encode_event(&mut out, ev);
     }
     // Trim the trailing newline: dispatch prints the result with its own.
     if out.ends_with('\n') {
@@ -351,15 +510,104 @@ mod tests {
         assert_eq!(census(&out), census(&out_txt));
     }
 
+    /// Runs the streaming cat into a buffer and returns (text, stats).
+    fn cat_to_string(path: &str, limit: u64, mmap: bool) -> (String, CatStats) {
+        let reader = AnyBatches::open(path, mmap).unwrap();
+        let mut out = Vec::new();
+        let stats = cat_batches(path, reader, limit, &mut out).unwrap();
+        (String::from_utf8(out).unwrap(), stats)
+    }
+
     #[test]
     fn cat_limit_truncates() {
         let tmp = TempDir::new("cat");
         let bin = generate(&tmp.0, "t.otb");
-        let out = run(&argv(&format!("cat --trace {bin} --limit 3"))).unwrap();
+        let (out, stats) = cat_to_string(&bin, 3, false);
         assert!(out.ends_with('…'), "{out:?}");
         // header + maybe phases line + 3 events + ellipsis.
         assert!(out.lines().count() <= 6, "{out}");
         assert!(out.starts_with("odbgc-trace v1"), "{out}");
+        assert_eq!(stats.events, 3);
+        // The dispatch path streams to stdout and returns nothing.
+        let dispatched = run(&argv(&format!("cat --trace {bin} --limit 3"))).unwrap();
+        assert_eq!(dispatched, "");
+    }
+
+    #[test]
+    fn cat_stream_matches_codec_and_mmap_matches_stream() {
+        let tmp = TempDir::new("cat-eq");
+        let bin = generate(&tmp.0, "t.otb");
+        let trace = load_trace(&bin).unwrap();
+        let mut expected = codec::encode(&trace);
+        // cat withholds the final newline for the dispatch layer.
+        assert_eq!(expected.pop(), Some('\n'));
+        let (streamed, _) = cat_to_string(&bin, u64::MAX, false);
+        let (mapped, _) = cat_to_string(&bin, u64::MAX, true);
+        assert_eq!(streamed, expected);
+        assert_eq!(mapped, expected);
+    }
+
+    #[test]
+    fn cat_peak_allocation_is_bounded_by_blocks_not_file_size() {
+        // A trace big enough to span > 3 event blocks (32 KiB payload
+        // target each): the streaming cat's reusable text buffer must
+        // stay around one block's worth of text, far below the whole
+        // file — the block-reuse assertion for the strictly-streaming
+        // guarantee.
+        let tmp = TempDir::new("cat-bounded");
+        let path = tmp.0.join("big.otb");
+        let trace = odbgc_trace::synthetic::linear_chain(30_000, 64, None);
+        crate::commands::write_trace_file(&path.display().to_string(), &trace, TraceFormat::Binary)
+            .unwrap();
+        let file_size = std::fs::metadata(&path).unwrap().len() as usize;
+
+        let mut reader = AnyBatches::open(&path.display().to_string(), false).unwrap();
+        let mut blocks = 0u64;
+        while reader.next_batch().unwrap().is_some() {
+            blocks += 1;
+        }
+        assert!(blocks > 3, "want a >3-block trace, got {blocks} blocks");
+
+        for mmap in [false, true] {
+            let (text, stats) = cat_to_string(&path.display().to_string(), u64::MAX, mmap);
+            assert_eq!(stats.events, trace.len() as u64);
+            assert!(
+                stats.peak_buf_bytes < text.len() / 2,
+                "peak text buffer {} B must stay well under the {} B output \
+                 (mmap={mmap}): the buffer is reused per block, not grown per file",
+                stats.peak_buf_bytes,
+                text.len()
+            );
+            assert!(file_size > 3 * 32 * 1024, "file spans >3 blocks");
+        }
+    }
+
+    #[test]
+    fn stat_and_verify_mmap_match_streaming() {
+        let tmp = TempDir::new("mmap-parity");
+        let bin = generate(&tmp.0, "t.otb");
+        let stat_stream = run(&argv(&format!("stat --trace {bin}"))).unwrap();
+        let stat_mapped = run(&argv(&format!("stat --trace {bin} --mmap true"))).unwrap();
+        assert_eq!(stat_stream, stat_mapped);
+        let verify_stream = run(&argv(&format!("verify --trace {bin}"))).unwrap();
+        let verify_mapped = run(&argv(&format!("verify --trace {bin} --mmap true"))).unwrap();
+        assert_eq!(verify_stream, verify_mapped);
+        assert!(verify_mapped.contains("OK"), "{verify_mapped}");
+
+        // Damage is diagnosed identically through the map.
+        let mut bytes = std::fs::read(&bin).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let bad = tmp.0.join("bad.otb").display().to_string();
+        std::fs::write(&bad, &bytes).unwrap();
+        let err_stream = run(&argv(&format!("verify --trace {bad}")))
+            .unwrap_err()
+            .to_string();
+        let err_mapped = run(&argv(&format!("verify --trace {bad} --mmap true")))
+            .unwrap_err()
+            .to_string();
+        assert_eq!(err_stream, err_mapped);
+        assert!(err_mapped.contains("INVALID"), "{err_mapped}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use odbgc_core::{ClampHit, CollectionObservation, Trigger};
 
 /// Running totals sampled from the engine's live counters after each
 /// operation (all cumulative since the engine was created).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterSnapshot {
     /// Total application page I/O.
     pub app_io_total: u64,

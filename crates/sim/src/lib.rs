@@ -34,8 +34,8 @@ pub use runner::{
 };
 pub use series::CollectionRecord;
 pub use simulator::{
-    EventStream, OwnedEvents, ReplayError, ReplayOptions, ReplaySource, RunResult, SimError,
-    Simulator, TraceEvents,
+    BatchSource, EventStream, OwnedEvents, ReplayError, ReplayOptions, ReplaySource, RunResult,
+    SimError, Simulator, TraceBatches, TraceEvents,
 };
 pub use telemetry::{
     verify_header, DecisionRecord, Json, JsonError, PhaseTelemetry, PlanTelemetry, RunTelemetry,

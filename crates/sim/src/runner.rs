@@ -271,6 +271,20 @@ pub struct CacheStats {
 /// A cached trace plus whether it originally came from the corpus.
 type TraceSlot = OnceLock<(Arc<Trace>, bool)>;
 
+/// One seed's cache slot, with its corpus coordinates resolved up front.
+struct SeedSlot {
+    seed: u64,
+    // Resolved once at cache construction when a corpus is attached: the
+    // corpus key (workload hash × seed) and the on-disk path it maps to.
+    // Sweep-loop lookups that land here repeatedly neither re-hash the
+    // workload key nor re-resolve the file name per hit.
+    resolved: Option<(CorpusKey, PathBuf)>,
+    // Each slot remembers whether its trace originally came from the
+    // corpus, so memory-tier re-serves of corpus data still count toward
+    // the corpus hit tally (see `TraceCorpus::note_hit`).
+    trace: TraceSlot,
+}
+
 /// Builds each (params, seed) trace exactly once per process and shares
 /// it between all jobs that replay it.
 ///
@@ -281,10 +295,7 @@ type TraceSlot = OnceLock<(Arc<Trace>, bool)>;
 pub struct TraceCache {
     params: Oo7Params,
     corpus: Option<TraceCorpus>,
-    // Each slot remembers whether its trace originally came from the
-    // corpus, so memory-tier re-serves of corpus data still count toward
-    // the corpus hit tally (see `TraceCorpus::note_hit`).
-    slots: Vec<(u64, TraceSlot)>,
+    slots: Vec<SeedSlot>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -296,12 +307,27 @@ impl TraceCache {
         TraceCache::with_corpus(params, seeds, None)
     }
 
-    /// An empty cache backed by the given corpus (if any).
+    /// An empty cache backed by the given corpus (if any). The workload
+    /// cache key is computed once here — not per lookup — and each
+    /// seed's corpus path is resolved once for the cache's lifetime.
     pub fn with_corpus(params: Oo7Params, seeds: &[u64], corpus: Option<TraceCorpus>) -> Self {
+        let workload = corpus.as_ref().map(|_| params.cache_key());
+        let slots = seeds
+            .iter()
+            .map(|&seed| SeedSlot {
+                seed,
+                resolved: corpus.as_ref().map(|c| {
+                    let key = CorpusKey::new(workload.clone().expect("corpus present"), seed);
+                    let path = c.path_of(&key);
+                    (key, path)
+                }),
+                trace: OnceLock::new(),
+            })
+            .collect();
         TraceCache {
             params,
             corpus,
-            slots: seeds.iter().map(|&s| (s, OnceLock::new())).collect(),
+            slots,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -318,21 +344,19 @@ impl TraceCache {
         let slot = self
             .slots
             .iter()
-            .find(|(s, _)| *s == seed)
-            .map(|(_, slot)| slot)
+            .find(|s| s.seed == seed)
             .unwrap_or_else(|| panic!("seed {seed} not in plan"));
         let mut built = false;
-        let (trace, from_corpus) = slot.get_or_init(|| {
+        let (trace, from_corpus) = slot.trace.get_or_init(|| {
             built = true;
             self.misses.fetch_add(1, Ordering::Relaxed);
             let generate = || Oo7App::standard(self.params, seed).generate().0;
-            match &self.corpus {
-                Some(corpus) => {
-                    let key = CorpusKey::new(self.params.cache_key(), seed);
-                    let (trace, loaded) = corpus.load_or_generate(&key, generate);
+            match (&self.corpus, &slot.resolved) {
+                (Some(corpus), Some((key, path))) => {
+                    let (trace, loaded) = corpus.load_or_generate_at(path, key, generate);
                     (Arc::new(trace), loaded)
                 }
-                None => (Arc::new(generate()), false),
+                _ => (Arc::new(generate()), false),
             }
         });
         if !built {

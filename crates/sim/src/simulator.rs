@@ -183,6 +183,72 @@ impl<E, I: Iterator<Item = Result<Event, E>>> ReplaySource<'static> for EventStr
     }
 }
 
+/// Anything a *batched* replay can consume: a phase-name table plus a
+/// sequence of decoded event blocks, borrowed one block at a time.
+///
+/// This is the block-granular sibling of [`ReplaySource`]: instead of an
+/// iterator of per-event `Result`s, the source lends whole decoded
+/// batches (backed by a reusable arena in the tracefile reader), so the
+/// replay loop pays its dispatch and error-handling costs once per block
+/// rather than once per event. Implemented for
+/// [`odbgc_tracefile::BatchReader`] (one batch per on-disk block) and
+/// [`TraceBatches`] (an in-memory trace as a single batch).
+pub trait BatchSource {
+    /// The source's error type ([`Infallible`] for in-memory traces).
+    type Error;
+
+    /// The phase-name table, indexed by [`odbgc_trace::PhaseId`].
+    fn phase_names(&self) -> Vec<String>;
+
+    /// Lends the next decoded batch, or `Ok(None)` after the last. The
+    /// borrow ends before the next call, letting implementations reuse
+    /// one arena across batches.
+    fn next_batch(&mut self) -> Result<Option<&[Event]>, Self::Error>;
+}
+
+impl<S: odbgc_tracefile::BlockSource> BatchSource for odbgc_tracefile::BatchReader<S> {
+    type Error = odbgc_tracefile::DecodeError;
+
+    fn phase_names(&self) -> Vec<String> {
+        odbgc_tracefile::BatchReader::phase_names(self).to_vec()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<&[Event]>, Self::Error> {
+        odbgc_tracefile::BatchReader::next_batch(self)
+    }
+}
+
+/// An in-memory [`Trace`] as a [`BatchSource`]: one batch covering the
+/// whole trace, borrowed and infallible.
+pub struct TraceBatches<'a> {
+    trace: &'a Trace,
+    done: bool,
+}
+
+impl<'a> TraceBatches<'a> {
+    /// Wraps `trace` as a single-batch source.
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceBatches { trace, done: false }
+    }
+}
+
+impl BatchSource for TraceBatches<'_> {
+    type Error = Infallible;
+
+    fn phase_names(&self) -> Vec<String> {
+        self.trace.phase_names().to_vec()
+    }
+
+    fn next_batch(&mut self) -> Result<Option<&[Event]>, Infallible> {
+        if self.done {
+            Ok(None)
+        } else {
+            self.done = true;
+            Ok(Some(self.trace.events()))
+        }
+    }
+}
+
 /// Options of one replay. The plain default replays silently; attach a
 /// [`RunTelemetry`] sink to additionally record the per-decision policy
 /// log and per-phase accounting.
@@ -287,6 +353,100 @@ impl Simulator {
                         cause,
                     })
                 })?;
+        }
+
+        if let Some(t) = telemetry {
+            t.finish(engine.counters());
+        }
+        Ok(engine.into_result(phases))
+    }
+
+    /// Replays a [`BatchSource`] under `policy`, applying events in
+    /// decoded-block chunks.
+    ///
+    /// Behaviorally identical to [`Simulator::replay`] over the same
+    /// events — per-event triggers, metrics sampling, and observer calls
+    /// all still fire in order, so the [`RunResult`] is byte-identical —
+    /// but the loop hands whole phase-free spans to
+    /// [`StoreEngine::apply_batch`], amortizing per-event dispatch.
+    /// [`Event::Phase`] markers are handled individually between spans,
+    /// exactly as the streaming loop does.
+    pub fn replay_batched<B: BatchSource>(
+        &self,
+        mut source: B,
+        policy: &mut dyn RatePolicy,
+        options: ReplayOptions<'_>,
+    ) -> Result<RunResult, ReplayError<B::Error>> {
+        let phase_names = source.phase_names();
+        let mut telemetry = options.telemetry;
+        let mut engine = StoreEngine::new(self.config.clone(), policy);
+        let mut phases: Vec<(String, u64, u64)> = Vec::new();
+        // Global index of the first event of the current batch, so
+        // per-event error and phase indices match the streaming loop.
+        let mut base: usize = 0;
+
+        loop {
+            let batch = match source.next_batch() {
+                Ok(Some(batch)) => batch,
+                Ok(None) => break,
+                Err(cause) => {
+                    return Err(ReplayError::Source {
+                        event_index: base,
+                        cause,
+                    })
+                }
+            };
+            let mut i = 0;
+            while i < batch.len() {
+                // The phase-free span starting at `i` goes through the
+                // engine's batch path in one call.
+                let span_end = batch[i..]
+                    .iter()
+                    .position(|ev| matches!(ev, Event::Phase { .. }))
+                    .map_or(batch.len(), |p| i + p);
+                if i < span_end {
+                    engine
+                        .apply_batch(
+                            &batch[i..span_end],
+                            telemetry
+                                .as_deref_mut()
+                                .map(|t| t as &mut dyn EngineObserver),
+                        )
+                        .map_err(|(off, cause)| {
+                            ReplayError::Sim(SimError {
+                                event_index: base + i + off,
+                                cause,
+                            })
+                        })?;
+                    i = span_end;
+                }
+                if let Some(ev @ Event::Phase { id }) = batch.get(i) {
+                    let name = phase_names
+                        .get(id.index())
+                        .map(String::as_str)
+                        .unwrap_or("<unknown>")
+                        .to_owned();
+                    if let Some(t) = telemetry.as_deref_mut() {
+                        t.enter_phase(&name, engine.counters());
+                    }
+                    phases.push((name, (base + i) as u64, engine.collection_count()));
+                    engine
+                        .apply_event(
+                            ev,
+                            telemetry
+                                .as_deref_mut()
+                                .map(|t| t as &mut dyn EngineObserver),
+                        )
+                        .map_err(|cause| {
+                            ReplayError::Sim(SimError {
+                                event_index: base + i,
+                                cause,
+                            })
+                        })?;
+                    i += 1;
+                }
+            }
+            base += batch.len();
         }
 
         if let Some(t) = telemetry {
@@ -498,6 +658,88 @@ mod tests {
             .expect("run")
         };
         assert_eq!(borrowed, streamed);
+    }
+
+    #[test]
+    fn batched_replay_matches_streaming_replay() {
+        let trace = tiny_trace(13);
+        let sim = Simulator::new(SimConfig::tiny());
+        let streamed = {
+            let mut p = SaioPolicy::with_frac(0.10);
+            replay(&sim, &trace, &mut p)
+        };
+        let batched = {
+            let mut p = SaioPolicy::with_frac(0.10);
+            sim.replay_batched(TraceBatches::new(&trace), &mut p, ReplayOptions::new())
+                .map_err(ReplayError::into_sim)
+                .expect("run")
+        };
+        assert_eq!(streamed, batched);
+        // And through the real block reader: encode, then replay the
+        // decoded blocks (many batches, arena reused between them).
+        let bytes = odbgc_tracefile::encode(&trace);
+        let block_batched = {
+            let mut p = SaioPolicy::with_frac(0.10);
+            let reader = odbgc_tracefile::BatchReader::new(
+                odbgc_tracefile::SliceBlocks::new(bytes.as_slice()).expect("header"),
+            )
+            .expect("phase table");
+            sim.replay_batched(reader, &mut p, ReplayOptions::new())
+                .expect("run")
+        };
+        assert_eq!(streamed, block_batched);
+    }
+
+    #[test]
+    fn batched_replay_telemetry_matches_streaming() {
+        let trace = tiny_trace(14);
+        let sim = Simulator::new(SimConfig::tiny());
+        let run = |batched: bool| {
+            let mut p = SaioPolicy::with_frac(0.10);
+            let mut sink = RunTelemetry::new(p.name());
+            let r = if batched {
+                sim.replay_batched(
+                    TraceBatches::new(&trace),
+                    &mut p,
+                    ReplayOptions::new().telemetry(&mut sink),
+                )
+                .map_err(ReplayError::into_sim)
+                .expect("run")
+            } else {
+                sim.replay(&trace, &mut p, ReplayOptions::new().telemetry(&mut sink))
+                    .map_err(ReplayError::into_sim)
+                    .expect("run")
+            };
+            (r, sink)
+        };
+        let (rs, ts) = run(false);
+        let (rb, tb) = run(true);
+        assert_eq!(rs, rb);
+        assert_eq!(ts.decisions, tb.decisions);
+        let phases = |t: &RunTelemetry| {
+            t.phases
+                .iter()
+                .map(|p| (p.name.clone(), p.events, p.app_io, p.gc_io, p.collections))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(phases(&ts), phases(&tb));
+    }
+
+    #[test]
+    fn batched_replay_reports_sim_error_with_global_index() {
+        let mut b = odbgc_trace::TraceBuilder::new();
+        b.phase("P0");
+        let root = b.create_unlinked(40, 1);
+        b.access(odbgc_trace::ObjectId::new(4242)); // event 2: bogus
+        b.root_add(root);
+        let trace = b.finish();
+        let sim = Simulator::new(SimConfig::tiny());
+        let mut p = FixedRatePolicy::new(1_000_000);
+        let err = sim
+            .replay_batched(TraceBatches::new(&trace), &mut p, ReplayOptions::new())
+            .map_err(ReplayError::into_sim)
+            .unwrap_err();
+        assert_eq!(err.event_index, 2);
     }
 
     /// A policy whose hand-built zero trigger is due before any activity

@@ -173,22 +173,30 @@ impl TraceCorpus {
     /// an unreadable or corrupt file warns on stderr and returns `None`
     /// (the caller will regenerate and overwrite it).
     pub fn load(&self, key: &CorpusKey) -> Option<Trace> {
-        let path = self.path_of(key);
+        self.load_at(&self.path_of(key))
+    }
+
+    /// Like [`TraceCorpus::load`], but takes the already-resolved path —
+    /// callers that look the same slot up repeatedly (the sweep hot
+    /// loop) resolve the key to a path once and skip re-hashing it on
+    /// every hit.
+    ///
+    /// Loads go through the zero-copy batched reader over a read-only
+    /// memory map (atomic-rename fills mean corpus files are never
+    /// truncated in place, so mapping is safe; see [`crate::mmap`]).
+    pub fn load_at(&self, path: &Path) -> Option<Trace> {
         let started = Instant::now();
-        let file = match std::fs::File::open(&path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
-            Err(e) => {
-                eprintln!("odbgc: cannot open corpus file {path:?}: {e}");
-                return None;
-            }
-        };
-        match crate::reader::read_trace(std::io::BufReader::new(file)) {
+        match crate::open_batches(path).and_then(crate::BatchReader::read_to_trace) {
             Ok(trace) => {
                 self.load_nanos
                     .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(trace)
+            }
+            Err(crate::DecodeError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(crate::DecodeError::Io(e)) => {
+                eprintln!("odbgc: cannot open corpus file {path:?}: {e}");
+                None
             }
             Err(e) => {
                 eprintln!("odbgc: corpus file {path:?} is unusable ({e}); regenerating");
@@ -247,7 +255,20 @@ impl TraceCorpus {
         key: &CorpusKey,
         build: impl FnOnce() -> Trace,
     ) -> (Trace, bool) {
-        if let Some(trace) = self.load(key) {
+        self.load_or_generate_at(&self.path_of(key), key, build)
+    }
+
+    /// Like [`TraceCorpus::load_or_generate`], with the key's path
+    /// already resolved (it must equal [`TraceCorpus::path_of`]`(key)`).
+    /// The hit path does no key hashing at all; the key is only needed
+    /// again on the cold fill path, for the sidecar and temp naming.
+    pub fn load_or_generate_at(
+        &self,
+        path: &Path,
+        key: &CorpusKey,
+        build: impl FnOnce() -> Trace,
+    ) -> (Trace, bool) {
+        if let Some(trace) = self.load_at(path) {
             return (trace, true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);

@@ -48,17 +48,23 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod corpus;
 pub mod crc32;
 pub mod error;
+pub mod mmap;
 pub mod reader;
 pub mod varint;
 pub mod writer;
 
+pub use batch::{BatchReader, BlockSource, ReadBlocks, SliceBlocks};
 pub use corpus::{CorpusKey, CorpusStats, TraceCorpus};
 pub use error::DecodeError;
+pub use mmap::TraceData;
 pub use reader::{read_trace, TraceReader};
 pub use writer::{write_trace, TraceWriter};
+
+use std::path::Path;
 
 use odbgc_trace::Trace;
 
@@ -96,8 +102,30 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
 }
 
 /// Decodes an in-memory tracefile into a fully materialized trace.
+///
+/// This is the zero-copy path: blocks are CRC-verified and decoded
+/// straight out of `bytes` with no intermediate payload copies.
 pub fn decode(bytes: &[u8]) -> Result<Trace, DecodeError> {
-    read_trace(bytes)
+    BatchReader::new(SliceBlocks::new(bytes)?)?.read_to_trace()
+}
+
+/// A batched reader over a whole-file backing ([`TraceData`]: mmap when
+/// possible, owned bytes otherwise).
+pub type FileBatches = BatchReader<SliceBlocks<TraceData>>;
+
+/// Opens a tracefile on disk for zero-copy batched reading, preferring
+/// a read-only memory map and falling back to reading the whole file
+/// into memory (see [`mmap`] for when).
+pub fn open_batches(path: &Path) -> Result<FileBatches, DecodeError> {
+    let data = TraceData::open(path)?;
+    BatchReader::new(SliceBlocks::new(data)?)
+}
+
+/// Like [`open_batches`], but never maps: the file is read into an
+/// owned buffer. For callers that cannot rule out in-place writers.
+pub fn open_batches_buffered(path: &Path) -> Result<FileBatches, DecodeError> {
+    let data = TraceData::open_buffered(path)?;
+    BatchReader::new(SliceBlocks::new(data)?)
 }
 
 #[cfg(test)]

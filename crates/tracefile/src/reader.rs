@@ -2,20 +2,21 @@
 
 use std::io::Read;
 
-use odbgc_trace::{Event, ObjectId, PhaseId, SlotIdx, Trace};
+use odbgc_trace::{Event, Trace};
 
-use crate::crc32::crc32;
+use crate::batch::{BatchReader, ReadBlocks};
 use crate::error::DecodeError;
-use crate::varint::{get_u64, unzigzag};
-use crate::writer::{
-    TAG_ACCESS, TAG_CREATE, TAG_PHASE, TAG_ROOT_ADD, TAG_ROOT_REMOVE, TAG_SLOT_WRITE_NULL,
-    TAG_SLOT_WRITE_SOME,
-};
-use crate::{BLOCK_END, BLOCK_EVENTS, BLOCK_PHASES, FORMAT_VERSION, MAGIC, MAX_BLOCK_LEN};
 
 /// Streaming tracefile reader: validates the header eagerly, then yields
 /// events one at a time as `Iterator<Item = Result<Event, DecodeError>>`,
 /// holding at most one block (~32 KiB) in memory.
+///
+/// Internally each block is validated and decoded in one shot through
+/// the shared batch decoder ([`BatchReader`]) — the CRC, the event
+/// count, and exact payload consumption are checked once per block, and
+/// both the raw-byte scratch buffer and the decoded-event arena are
+/// reused across blocks, so a whole-file scan performs O(blocks
+/// decoded), not O(events), allocations.
 ///
 /// The iterator is fused on error: after yielding an `Err`, it yields
 /// `None` forever. A successful iteration ends only after the end block
@@ -36,22 +37,12 @@ use crate::{BLOCK_END, BLOCK_EVENTS, BLOCK_PHASES, FORMAT_VERSION, MAGIC, MAX_BL
 /// assert_eq!(events.unwrap(), trace.events());
 /// ```
 pub struct TraceReader<R: Read> {
-    input: R,
-    phase_names: Vec<String>,
-    /// Payload of the current event block.
-    block: Vec<u8>,
-    /// Cursor into `block`.
-    pos: usize,
-    /// Events remaining in the current block.
-    block_remaining: u64,
-    /// Delta baseline within the current block.
-    prev_id: u64,
-    /// Blocks read so far (phase table = block 0).
-    blocks_read: u64,
+    inner: BatchReader<ReadBlocks<R>>,
+    /// Decoded events of the current block in *reverse* order, so each
+    /// `next()` is a capacity-preserving `pop` from the back.
+    pending: Vec<Event>,
     /// Events yielded so far.
-    events_read: u64,
-    /// Bytes consumed from `input` so far.
-    offset: u64,
+    yielded: u64,
     /// Terminal state: end block verified (`Ok`) or error yielded.
     done: bool,
 }
@@ -60,220 +51,29 @@ impl<R: Read> TraceReader<R> {
     /// Opens a tracefile: reads and validates the magic, version, and
     /// phase table. Fails fast with a typed error on foreign or
     /// future-version files.
-    pub fn new(mut input: R) -> Result<Self, DecodeError> {
-        let mut offset = 0u64;
-        // Magic first, version second: a 4-byte foreign file is "not a
-        // tracefile", not "a truncated tracefile".
-        let mut magic = [0u8; 4];
-        read_exact_at(&mut input, &mut magic, &mut offset, "magic")?;
-        if magic != MAGIC {
-            return Err(DecodeError::BadMagic { found: magic });
-        }
-        let mut rest = [0u8; 4];
-        read_exact_at(&mut input, &mut rest, &mut offset, "version header")?;
-        let version = u16::from_le_bytes([rest[0], rest[1]]);
-        if version > FORMAT_VERSION {
-            return Err(DecodeError::UnsupportedVersion {
-                found: version,
-                supported: FORMAT_VERSION,
-            });
-        }
-        let (kind, payload) = read_block(&mut input, &mut offset, 0)?;
-        if kind != BLOCK_PHASES {
-            return Err(DecodeError::Corrupt {
-                block: 0,
-                message: format!("expected phase-table block first, found kind {kind}"),
-            });
-        }
-        let phase_names = decode_phase_table(&payload)?;
+    pub fn new(input: R) -> Result<Self, DecodeError> {
         Ok(TraceReader {
-            input,
-            phase_names,
-            block: Vec::new(),
-            pos: 0,
-            block_remaining: 0,
-            prev_id: 0,
-            blocks_read: 1,
-            events_read: 0,
-            offset,
+            inner: BatchReader::new(ReadBlocks::new(input)?)?,
+            pending: Vec::new(),
+            yielded: 0,
             done: false,
         })
     }
 
     /// The phase-name table from the header, in id order.
     pub fn phase_names(&self) -> &[String] {
-        &self.phase_names
+        self.inner.phase_names()
     }
 
-    /// Events successfully decoded so far.
+    /// Events successfully yielded so far.
     pub fn events_read(&self) -> u64 {
-        self.events_read
+        self.yielded
     }
 
     /// Blocks successfully read so far (including the phase table and,
     /// once iteration completes, the end block).
     pub fn blocks_read(&self) -> u64 {
-        self.blocks_read
-    }
-
-    /// A [`DecodeError::Corrupt`] at the current block.
-    fn corrupt(&self, message: impl Into<String>) -> DecodeError {
-        DecodeError::Corrupt {
-            block: self.blocks_read,
-            message: message.into(),
-        }
-    }
-
-    /// Reads a varint from the current block.
-    fn block_u64(&mut self, what: &str) -> Result<u64, DecodeError> {
-        get_u64(&self.block, &mut self.pos)
-            .ok_or_else(|| self.corrupt(format!("bad varint ({what})")))
-    }
-
-    /// Decodes a delta-coded object id from the current block.
-    fn block_id(&mut self, what: &str) -> Result<ObjectId, DecodeError> {
-        let z = self.block_u64(what)?;
-        let id = self.prev_id.wrapping_add(unzigzag(z) as u64);
-        self.prev_id = id;
-        Ok(ObjectId::new(id))
-    }
-
-    /// Loads the next block; `Ok(true)` means an event block is current,
-    /// `Ok(false)` means the end block was reached and verified.
-    fn load_next_block(&mut self) -> Result<bool, DecodeError> {
-        let (kind, payload) = read_block(&mut self.input, &mut self.offset, self.blocks_read)?;
-        self.blocks_read += 1;
-        match kind {
-            BLOCK_EVENTS => {
-                self.block = payload;
-                self.pos = 0;
-                self.prev_id = 0;
-                self.block_remaining = self.block_u64("block event count")?;
-                if self.block_remaining == 0 {
-                    return Err(self.corrupt("event block with zero events"));
-                }
-                Ok(true)
-            }
-            BLOCK_END => {
-                let mut pos = 0;
-                let total = get_u64(&payload, &mut pos)
-                    .ok_or_else(|| self.corrupt("bad varint (total event count)"))?;
-                if total != self.events_read {
-                    return Err(self.corrupt(format!(
-                        "end block declares {total} events but {} were present",
-                        self.events_read
-                    )));
-                }
-                // Nothing may follow the end block.
-                let mut probe = [0u8; 1];
-                match self.input.read(&mut probe) {
-                    Ok(0) => Ok(false),
-                    Ok(_) => Err(self.corrupt("trailing bytes after end block")),
-                    Err(e) => Err(DecodeError::Io(e)),
-                }
-            }
-            BLOCK_PHASES => Err(self.corrupt("duplicate phase-table block")),
-            other => Err(self.corrupt(format!("unknown block kind {other}"))),
-        }
-    }
-
-    /// Decodes the next event from the current block.
-    fn decode_event(&mut self) -> Result<Event, DecodeError> {
-        let tag = *self
-            .block
-            .get(self.pos)
-            .ok_or_else(|| self.corrupt("event runs past block payload"))?;
-        self.pos += 1;
-        let ev = match tag {
-            TAG_CREATE => {
-                let id = self.block_id("create id")?;
-                let size = self.block_u64("create size")?;
-                let size = u32::try_from(size)
-                    .map_err(|_| self.corrupt(format!("create size {size} exceeds u32")))?;
-                let n = self.block_u64("create slot count")?;
-                let n = usize::try_from(n)
-                    .ok()
-                    .filter(|&n| n <= self.block.len() * 8)
-                    .ok_or_else(|| self.corrupt(format!("implausible slot count {n}")))?;
-                let bitmap_len = n.div_ceil(8);
-                let bitmap_end = self
-                    .pos
-                    .checked_add(bitmap_len)
-                    .filter(|&e| e <= self.block.len())
-                    .ok_or_else(|| self.corrupt("slot bitmap runs past block payload"))?;
-                let bitmap = self.block[self.pos..bitmap_end].to_vec();
-                self.pos = bitmap_end;
-                let mut slots = Vec::with_capacity(n);
-                for i in 0..n {
-                    if bitmap[i / 8] & (1 << (i % 8)) != 0 {
-                        slots.push(Some(self.block_id("create slot target")?));
-                    } else {
-                        slots.push(None);
-                    }
-                }
-                Event::Create {
-                    id,
-                    size,
-                    slots: slots.into_boxed_slice(),
-                }
-            }
-            TAG_ACCESS => Event::Access {
-                id: self.block_id("access id")?,
-            },
-            TAG_SLOT_WRITE_SOME | TAG_SLOT_WRITE_NULL => {
-                let src = self.block_id("slot-write src")?;
-                let slot = self.block_u64("slot index")?;
-                let slot = u32::try_from(slot)
-                    .map_err(|_| self.corrupt(format!("slot index {slot} exceeds u32")))?;
-                let new = if tag == TAG_SLOT_WRITE_SOME {
-                    Some(self.block_id("slot-write target")?)
-                } else {
-                    None
-                };
-                Event::SlotWrite {
-                    src,
-                    slot: SlotIdx::new(slot),
-                    new,
-                }
-            }
-            TAG_ROOT_ADD => Event::RootAdd {
-                id: self.block_id("root-add id")?,
-            },
-            TAG_ROOT_REMOVE => Event::RootRemove {
-                id: self.block_id("root-remove id")?,
-            },
-            TAG_PHASE => {
-                let id = self.block_u64("phase id")?;
-                let id = u16::try_from(id)
-                    .map_err(|_| self.corrupt(format!("phase id {id} exceeds u16")))?;
-                Event::Phase {
-                    id: PhaseId::new(id),
-                }
-            }
-            other => return Err(self.corrupt(format!("unknown event tag {other}"))),
-        };
-        Ok(ev)
-    }
-
-    /// The iterator body, with `?` ergonomics.
-    fn try_next(&mut self) -> Result<Option<Event>, DecodeError> {
-        if self.block_remaining == 0 {
-            // Between blocks the cursor must sit exactly at the payload
-            // end; leftover bytes mean the count and the data disagree.
-            if self.pos != self.block.len() {
-                return Err(self.corrupt(format!(
-                    "{} unconsumed bytes after last event of block",
-                    self.block.len() - self.pos
-                )));
-            }
-            if !self.load_next_block()? {
-                return Ok(None);
-            }
-        }
-        let ev = self.decode_event()?;
-        self.block_remaining -= 1;
-        self.events_read += 1;
-        Ok(Some(ev))
+        self.inner.blocks_read()
     }
 }
 
@@ -284,9 +84,19 @@ impl<R: Read> Iterator for TraceReader<R> {
         if self.done {
             return None;
         }
-        match self.try_next() {
-            Ok(Some(ev)) => Some(Ok(ev)),
-            Ok(None) => {
+        if let Some(ev) = self.pending.pop() {
+            self.yielded += 1;
+            return Some(Ok(ev));
+        }
+        match self.inner.next_into(&mut self.pending) {
+            Ok(true) => {
+                // Reverse once per block so per-event yielding is a pop.
+                self.pending.reverse();
+                let ev = self.pending.pop().expect("event blocks are never empty");
+                self.yielded += 1;
+                Some(Ok(ev))
+            }
+            Ok(false) => {
                 self.done = true;
                 None
             }
@@ -298,110 +108,17 @@ impl<R: Read> Iterator for TraceReader<R> {
     }
 }
 
-/// Reads exactly `buf.len()` bytes, reporting a typed truncation error
-/// (with the stream offset) when the input ends early.
-fn read_exact_at<R: Read>(
-    input: &mut R,
-    buf: &mut [u8],
-    offset: &mut u64,
-    expected: &'static str,
-) -> Result<(), DecodeError> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match input.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Err(DecodeError::Truncated {
-                    offset: *offset + filled as u64,
-                    expected,
-                })
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(DecodeError::Io(e)),
-        }
-    }
-    *offset += buf.len() as u64;
-    Ok(())
-}
-
-/// Reads one block: kind byte, length, payload, and CRC — verifying the
-/// checksum before handing the payload back.
-fn read_block<R: Read>(
-    input: &mut R,
-    offset: &mut u64,
-    block_index: u64,
-) -> Result<(u8, Vec<u8>), DecodeError> {
-    let mut head = [0u8; 5];
-    read_exact_at(input, &mut head, offset, "block header")?;
-    let kind = head[0];
-    let len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]);
-    if len > MAX_BLOCK_LEN {
-        return Err(DecodeError::Corrupt {
-            block: block_index,
-            message: format!("block length {len} exceeds the {MAX_BLOCK_LEN}-byte cap"),
-        });
-    }
-    let mut payload = vec![0u8; len as usize];
-    read_exact_at(input, &mut payload, offset, "block payload")?;
-    let mut stored = [0u8; 4];
-    read_exact_at(input, &mut stored, offset, "block checksum")?;
-    let stored = u32::from_le_bytes(stored);
-    let computed = crc32(&payload);
-    if stored != computed {
-        return Err(DecodeError::ChecksumMismatch {
-            block: block_index,
-            stored,
-            computed,
-        });
-    }
-    Ok((kind, payload))
-}
-
-/// Decodes the phase-table payload.
-fn decode_phase_table(payload: &[u8]) -> Result<Vec<String>, DecodeError> {
-    let corrupt = |message: String| DecodeError::Corrupt { block: 0, message };
-    let mut pos = 0;
-    let count =
-        get_u64(payload, &mut pos).ok_or_else(|| corrupt("bad varint (phase count)".into()))?;
-    let count = usize::try_from(count)
-        .ok()
-        .filter(|&c| c <= usize::from(u16::MAX))
-        .ok_or_else(|| corrupt(format!("implausible phase count {count}")))?;
-    let mut names = Vec::with_capacity(count);
-    for i in 0..count {
-        let len = get_u64(payload, &mut pos)
-            .ok_or_else(|| corrupt(format!("bad varint (phase {i} name length)")))?;
-        let end = usize::try_from(len)
-            .ok()
-            .and_then(|l| pos.checked_add(l))
-            .filter(|&e| e <= payload.len())
-            .ok_or_else(|| corrupt(format!("phase {i} name runs past the table")))?;
-        let name = std::str::from_utf8(&payload[pos..end])
-            .map_err(|_| corrupt(format!("phase {i} name is not UTF-8")))?;
-        names.push(name.to_owned());
-        pos = end;
-    }
-    if pos != payload.len() {
-        return Err(corrupt("trailing bytes after phase table".into()));
-    }
-    Ok(names)
-}
-
-/// Decodes a whole tracefile into a fully materialized [`Trace`].
+/// Decodes a whole tracefile into a fully materialized [`Trace`],
+/// appending straight into one contiguous event vector (no per-block
+/// copies).
 pub fn read_trace<R: Read>(input: R) -> Result<Trace, DecodeError> {
-    let mut reader = TraceReader::new(input)?;
-    let mut events = Vec::new();
-    for ev in reader.by_ref() {
-        events.push(ev?);
-    }
-    let phase_names = std::mem::take(&mut reader.phase_names);
-    Ok(Trace::from_parts(events, phase_names))
+    BatchReader::new(ReadBlocks::new(input)?)?.read_to_trace()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use odbgc_trace::TraceBuilder;
+    use odbgc_trace::{ObjectId, SlotIdx, TraceBuilder};
 
     fn sample() -> Trace {
         let mut b = TraceBuilder::new();

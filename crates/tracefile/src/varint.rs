@@ -22,7 +22,19 @@ pub fn put_u64(out: &mut Vec<u8>, mut value: u64) {
 ///
 /// Returns `None` on truncation, overlong encodings, or overflow — the
 /// caller maps that to its typed corruption error.
+#[inline]
 pub fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    // One-byte values dominate real traces (delta encoding keeps ids
+    // small), so the single-byte case decodes without entering the loop.
+    let first = *buf.get(*pos)?;
+    if first & 0x80 == 0 {
+        *pos += 1;
+        return Some(u64::from(first));
+    }
+    get_u64_multibyte(buf, pos)
+}
+
+fn get_u64_multibyte(buf: &[u8], pos: &mut usize) -> Option<u64> {
     let mut value: u64 = 0;
     for shift in (0..64).step_by(7) {
         let byte = *buf.get(*pos)?;

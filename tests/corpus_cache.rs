@@ -93,6 +93,60 @@ fn warm_corpus_sweep_is_byte_identical_with_nine_hits_and_zero_generations() {
 }
 
 #[test]
+fn warm_sweep_hit_stats_are_exact() {
+    // Regression guard for the resolved-path cache in `TraceCache`: with
+    // the corpus key and file path resolved once per (workload, seed)
+    // slot, a warm sweep's corpus accounting must be *exactly* one disk
+    // load per seed plus memory-tier re-serves — 9 hits, 0 misses, 0
+    // generations for a 3×3 grid — same as before the caching change.
+    let tmp = TempDir::new("exact-stats");
+    let cold = three_by_three(&tmp.0).run_with_jobs(Some(2));
+    let cold_stats = cold.corpus.expect("corpus attached");
+    assert_eq!(
+        (cold_stats.hits, cold_stats.misses, cold_stats.generated),
+        (0, 3, 3),
+        "cold: one miss + one generation per seed, no hits"
+    );
+
+    let warm = three_by_three(&tmp.0).run_with_jobs(Some(1));
+    let warm_stats = warm.corpus.expect("corpus attached");
+    assert_eq!(
+        (warm_stats.hits, warm_stats.misses, warm_stats.generated),
+        (9, 0, 0),
+        "warm: every job corpus-served, nothing re-resolved into a miss"
+    );
+}
+
+#[test]
+fn batched_corpus_replay_matches_in_memory() {
+    // The zero-copy path end to end: a corpus-installed tracefile opened
+    // through the mmap-preferring batched reader replays to the same
+    // RunResult as the in-memory trace it was written from.
+    let (trace, _) = Oo7App::standard(Oo7Params::tiny(), 5).generate();
+    let tmp = TempDir::new("batched");
+    std::fs::create_dir_all(&tmp.0).unwrap();
+    let path = tmp.0.join("t.otb");
+    let file = std::fs::File::create(&path).unwrap();
+    odbgc_tracefile::write_trace(std::io::BufWriter::new(file), &trace)
+        .unwrap()
+        .into_inner()
+        .unwrap();
+
+    let mut policy = PolicySpec::saio(0.10).build();
+    let in_memory = Simulator::new(SimConfig::tiny())
+        .replay(&trace, policy.as_mut(), odbgc_sim::ReplayOptions::new())
+        .unwrap();
+
+    let reader = odbgc_tracefile::open_batches(&path).unwrap();
+    let mut policy = PolicySpec::saio(0.10).build();
+    let batched = Simulator::new(SimConfig::tiny())
+        .replay_batched(reader, policy.as_mut(), odbgc_sim::ReplayOptions::new())
+        .unwrap();
+
+    assert_eq!(in_memory, batched, "batched replay must not change results");
+}
+
+#[test]
 fn binary_is_at_most_forty_percent_of_text_on_conn3() {
     // The paper's conn-3 workload (Small database keeps test time sane;
     // the encoding ratio is about the format, not the database scale).

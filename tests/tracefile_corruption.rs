@@ -8,7 +8,9 @@
 //! future version is what an old binary sees after an upgrade.
 
 use odbgc_trace::{SlotIdx, Trace, TraceBuilder};
-use odbgc_tracefile::{crc32::crc32, DecodeError, TraceReader, FORMAT_VERSION, MAGIC};
+use odbgc_tracefile::{
+    crc32::crc32, BatchReader, DecodeError, SliceBlocks, TraceReader, FORMAT_VERSION, MAGIC,
+};
 
 /// A representative trace: phases, creates with mixed slots, writes,
 /// roots — large enough to exercise every tag.
@@ -37,8 +39,8 @@ fn encoded() -> Vec<u8> {
     odbgc_tracefile::encode(&sample_trace())
 }
 
-/// Fully drains a tracefile, returning the first error (if any).
-fn decode_all(bytes: &[u8]) -> Result<usize, DecodeError> {
+/// Drains a tracefile through the streaming (`Read`-based) path.
+fn decode_streaming(bytes: &[u8]) -> Result<usize, DecodeError> {
     let reader = TraceReader::new(bytes)?;
     let mut n = 0;
     for ev in reader {
@@ -46,6 +48,36 @@ fn decode_all(bytes: &[u8]) -> Result<usize, DecodeError> {
         n += 1;
     }
     Ok(n)
+}
+
+/// Drains a tracefile through the zero-copy slice path — the same code
+/// the mmap-backed reader runs over a mapped region.
+fn decode_sliced(bytes: &[u8]) -> Result<usize, DecodeError> {
+    let mut reader = BatchReader::new(SliceBlocks::new(bytes)?)?;
+    let mut n = 0;
+    while let Some(batch) = reader.next_batch()? {
+        n += batch.len();
+    }
+    Ok(n)
+}
+
+/// Fully drains a tracefile through BOTH read paths, asserting they
+/// agree exactly — same event count on success, same typed error (field
+/// for field, via Debug) on failure. Every corruption case in this file
+/// therefore exercises the streaming and the mmap/slice decoder alike.
+fn decode_all(bytes: &[u8]) -> Result<usize, DecodeError> {
+    let streamed = decode_streaming(bytes);
+    let sliced = decode_sliced(bytes);
+    match (&streamed, &sliced) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "paths decode different event counts"),
+        (Err(a), Err(b)) => assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "paths diagnose the damage differently"
+        ),
+        _ => panic!("paths disagree: streaming {streamed:?} vs sliced {sliced:?}"),
+    }
+    streamed
 }
 
 #[test]
@@ -235,6 +267,63 @@ fn small_oo7_tracefile_survives_damage_too() {
         decode_all(&bytes[..bytes.len() * 2 / 3]),
         Err(DecodeError::Truncated { .. })
     ));
+}
+
+#[test]
+fn mmap_reader_diagnoses_damage_identically_to_memory() {
+    // The in-memory slice assertions above cover the decode logic; this
+    // covers the actual mapped region: damaged variants written to real
+    // files and opened through `open_batches` (a read-only mmap where
+    // the platform supports it) must produce the very same typed errors
+    // as the in-memory paths — truncated maps included, with no panic
+    // and no fault.
+    let dir = std::env::temp_dir().join(format!(
+        "odbgc-tracefile-mmap-corruption-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bytes = encoded();
+
+    let mut variants: Vec<(String, Vec<u8>)> = Vec::new();
+    for keep in [0, 3, 7, 12, bytes.len() / 2, bytes.len() - 1] {
+        variants.push((format!("truncated-{keep}"), bytes[..keep].to_vec()));
+    }
+    let mut flipped = bytes.clone();
+    flipped[bytes.len() / 2] ^= 0x40;
+    variants.push(("bit-flip".into(), flipped));
+    let mut foreign = bytes.clone();
+    foreign[0..4].copy_from_slice(b"GIF8");
+    variants.push(("bad-magic".into(), foreign));
+    let mut future = bytes.clone();
+    future[4..6].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+    variants.push(("future-version".into(), future));
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(b"junk");
+    variants.push(("trailing-junk".into(), trailing));
+    variants.push(("pristine".into(), bytes));
+
+    for (name, data) in variants {
+        let path = dir.join(format!("{name}.otb"));
+        std::fs::write(&path, &data).unwrap();
+        let in_memory = decode_all(&data);
+        let mapped = odbgc_tracefile::open_batches(&path).and_then(|mut r| {
+            let mut n = 0;
+            while let Some(batch) = r.next_batch()? {
+                n += batch.len();
+            }
+            Ok(n)
+        });
+        match (&in_memory, &mapped) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{name}: event counts differ"),
+            (Err(a), Err(b)) => assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{name}: mapped path diagnoses differently"
+            ),
+            _ => panic!("{name}: in-memory {in_memory:?} vs mapped {mapped:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

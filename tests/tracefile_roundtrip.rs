@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use odbgc_trace::synthetic::{churn, ChurnConfig};
 use odbgc_trace::{codec, Event, ObjectId, PhaseId, SlotIdx, Trace};
-use odbgc_tracefile::{decode, encode, TraceReader};
+use odbgc_tracefile::{decode, encode, BatchReader, SliceBlocks, TraceReader};
 
 /// Strategy for an arbitrary (not necessarily semantically valid) event,
 /// with ids drawn from the full u64 range so the zigzag-delta encoding's
@@ -87,6 +87,26 @@ proptest! {
     }
 
     #[test]
+    fn batched_reader_agrees_with_streaming_reader(
+        events in proptest::collection::vec(arb_event(), 0..300)
+    ) {
+        // The zero-copy batch path (what the mmap reader runs) yields
+        // the same events in the same order as the per-event streaming
+        // iterator, for any representable trace.
+        let trace = trace_from(events);
+        let bytes = encode(&trace);
+        let mut reader = BatchReader::new(SliceBlocks::new(bytes.as_slice()).expect("header"))
+            .expect("phase table");
+        let mut batched: Vec<Event> = Vec::new();
+        while let Some(batch) = reader.next_batch().expect("batch") {
+            batched.extend_from_slice(batch);
+        }
+        prop_assert_eq!(batched.as_slice(), trace.events());
+        prop_assert_eq!(reader.phase_names(), trace.phase_names());
+        prop_assert_eq!(reader.events_read(), trace.len() as u64);
+    }
+
+    #[test]
     fn churn_traces_round_trip_in_binary(seed in any::<u64>(), steps in 1usize..300) {
         let cfg = ChurnConfig { steps, ..ChurnConfig::default() };
         let trace = churn(&cfg, seed);
@@ -110,4 +130,24 @@ fn small_oo7_trace_round_trips_and_agrees_with_text() {
         assert_eq!(decode(&bytes).unwrap(), trace);
         assert_eq!(codec::decode(&codec::encode(&trace)).unwrap(), trace);
     }
+}
+
+#[test]
+fn mmap_backed_file_round_trips() {
+    let dir = std::env::temp_dir().join(format!("odbgc-tracefile-mmap-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.otb");
+    let (trace, _) = odbgc_oo7::Oo7App::standard(odbgc_oo7::Oo7Params::tiny(), 9).generate();
+    std::fs::write(&path, encode(&trace)).unwrap();
+
+    let mapped = odbgc_tracefile::open_batches(&path)
+        .and_then(BatchReader::read_to_trace)
+        .unwrap();
+    assert_eq!(mapped, trace);
+
+    let buffered = odbgc_tracefile::open_batches_buffered(&path)
+        .and_then(BatchReader::read_to_trace)
+        .unwrap();
+    assert_eq!(buffered, trace);
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -3,7 +3,7 @@
 use odbgc_oo7::Oo7App;
 use odbgc_sim::{run_single, ReplayOptions, RunTelemetry, SimConfig, Simulator};
 
-use crate::commands::load_trace;
+use crate::commands::{load_trace, parse_gc_workers};
 use crate::flags::Flags;
 use crate::spec;
 use crate::CliError;
@@ -23,6 +23,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let preamble: u64 = flags.get_or("preamble", 10)?;
     let store_geometry = flags.get("store");
     let mmap: bool = flags.get_or("mmap", false)?;
+    let gc_workers = parse_gc_workers(&flags)?;
     flags.finish()?;
 
     // With `--mmap true` a binary tracefile is replayed straight off a
@@ -50,6 +51,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 
     let mut config = SimConfig {
         preamble_collections: preamble,
+        gc_workers,
         ..SimConfig::default()
     };
     match store_geometry.as_deref() {
@@ -329,5 +331,24 @@ mod tests {
     #[test]
     fn unknown_store_geometry_errors() {
         assert!(run(&argv("--policy saio:10% --store huge")).is_err());
+    }
+
+    #[test]
+    fn gc_workers_flag_never_changes_the_report() {
+        let base = run(&argv(
+            "--policy saio:10% --params tiny --store tiny --preamble 2",
+        ))
+        .unwrap();
+        let parallel = run(&argv(
+            "--policy saio:10% --params tiny --store tiny --preamble 2 --gc-workers 4",
+        ))
+        .unwrap();
+        assert_eq!(base, parallel, "worker count must not change results");
+    }
+
+    #[test]
+    fn zero_gc_workers_errors() {
+        let err = run(&argv("--policy saio:10% --params tiny --gc-workers 0")).unwrap_err();
+        assert!(err.to_string().contains("gc-workers"), "{err}");
     }
 }

@@ -86,13 +86,13 @@ USAGE:
   odbgc run      (--trace <file> | [--conn N] [--seed N]) --policy <spec>
                  [--selector updated-pointer|random|round-robin|most-garbage]
                  [--series <csv>] [--preamble N] [--store paper|tiny]
-                 [--telemetry <json>]
+                 [--telemetry <json>] [--gc-workers N]
   odbgc serve-bench --policy <spec> [--sessions N] [--shards N] [--ops N]
                  [--batch N] [--sched-seed N] [--seed N] [--store tiny|paper]
-                 [--telemetry <json>]
+                 [--telemetry <json>] [--gc-workers N]
   odbgc sweep    --policy saio|saga[:estimator] --points a,b,c [--seeds A..B]
                  [--conn N] [--csv <file>] [--jobs N] [--corpus <dir>]
-                 [--telemetry <json>] [--progress N]
+                 [--telemetry <json>] [--progress N] [--gc-workers N]
   odbgc telemetry verify --file <json>
   odbgc trace    convert --in <file> --out <file> [--format binary|text]
   odbgc trace    stat|verify|cat --trace <file>   (cat: [--limit N])
@@ -110,6 +110,9 @@ POLICY SPECS:
 
 Sweeps run cell × seed on --jobs worker threads (or ODBGC_JOBS; default:
 all cores). Results are independent of the worker count.
+Collections run on a per-engine collector pool sized by --gc-workers (or
+ODBGC_GC_WORKERS; default 1); the packet scheduler reduces results in a
+canonical order, so GC worker count never changes results either.
 Everything is deterministic in --seed (default 1).
 
 serve-bench drives N live sessions (default 4) against engines sharded

@@ -37,6 +37,29 @@ pub struct EngineConfig {
     /// with the same estimator kind the recorded values equal the ones the
     /// policy used.
     pub shadow_estimator: Option<EstimatorKind>,
+    /// Collector-worker pool size for packet-graph collection. `None`
+    /// resolves via [`default_gc_workers`] (the `ODBGC_GC_WORKERS`
+    /// environment variable, else 1). Worker count never changes engine
+    /// results — only wall-clock time and volatile scheduler telemetry.
+    pub gc_workers: Option<usize>,
+}
+
+/// Resolves the collector-worker count when [`EngineConfig::gc_workers`]
+/// is `None`: the `ODBGC_GC_WORKERS` environment variable if set to a
+/// positive integer (warning and falling back on garbage), else 1 — the
+/// sequential planner, which is the right default for the simulator's
+/// small partitions.
+pub fn default_gc_workers() -> usize {
+    match std::env::var("ODBGC_GC_WORKERS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("warning: ignoring invalid ODBGC_GC_WORKERS={s:?}; using 1");
+                1
+            }
+        },
+        Err(_) => 1,
+    }
 }
 
 impl Default for EngineConfig {
@@ -49,6 +72,7 @@ impl Default for EngineConfig {
             exact_oracle_recompute: true,
             deep_checks: false,
             shadow_estimator: None,
+            gc_workers: None,
         }
     }
 }
@@ -84,6 +108,7 @@ mod tests {
         assert_eq!(c.store.pages_per_partition, 12);
         assert!(c.exact_oracle_recompute);
         assert!(c.shadow_estimator.is_none());
+        assert!(c.gc_workers.is_none());
     }
 
     #[test]

@@ -85,7 +85,11 @@ impl<P: RatePolicy> StoreEngine<P> {
     /// exactly as the replay loop did before its first event.
     pub fn new(config: EngineConfig, mut policy: P) -> Self {
         let store = Store::new(config.store.clone());
-        let collector = Collector::new(config.selector.build(config.selector_seed));
+        let workers = config
+            .gc_workers
+            .unwrap_or_else(crate::config::default_gc_workers);
+        let collector =
+            Collector::with_workers(config.selector.build(config.selector_seed), workers);
         let metrics = RunMetrics::new(config.preamble_collections);
         let shadow: Option<Box<dyn GarbageEstimator + Send>> =
             config.shadow_estimator.map(|k| k.build());
@@ -309,6 +313,9 @@ impl<P: RatePolicy> StoreEngine<P> {
                 clamp: self.policy.last_clamp(),
                 estimated_garbage: estimated,
             });
+            if let Some(stats) = self.collector.last_sched_stats() {
+                o.note_collection_sched(stats);
+            }
         }
         self.reset_baselines();
         Some(outcome)
@@ -362,6 +369,17 @@ impl<P: RatePolicy> StoreEngine<P> {
     /// Operations applied so far.
     pub fn events_applied(&self) -> u64 {
         self.events_applied
+    }
+
+    /// Collector-worker pool size this engine's collector runs with.
+    pub fn gc_workers(&self) -> usize {
+        self.collector.workers()
+    }
+
+    /// Scheduler totals across this engine's collections (volatile:
+    /// busy times vary run to run).
+    pub fn sched_totals(&self) -> odbgc_gc::SchedTotals {
+        self.collector.sched_totals()
     }
 
     /// Collections performed so far.

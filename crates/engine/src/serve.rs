@@ -145,6 +145,12 @@ pub struct ShardOutcome {
     /// Every trigger decision the shard's policy made, from live
     /// counters.
     pub decisions: Vec<DecisionRecord>,
+    /// Collector-worker pool size the shard's collector ran with.
+    pub gc_workers: usize,
+    /// Scheduler totals across the shard's collections. The packet and
+    /// collection counts are deterministic; busy times and steal counts
+    /// are volatile.
+    pub sched: odbgc_gc::SchedTotals,
 }
 
 /// What a serve run did.
@@ -362,10 +368,14 @@ pub fn serve(
         .into_iter()
         .map(|slot| {
             let state = slot.state.into_inner().expect("shard lock");
+            let gc_workers = state.engine.gc_workers();
+            let sched = state.engine.sched_totals();
             ShardOutcome {
                 policy: state.engine.policy_name(),
                 result: state.engine.into_result(Vec::new()),
                 decisions: state.log.decisions,
+                gc_workers,
+                sched,
             }
         })
         .collect();

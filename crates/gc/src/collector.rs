@@ -1,5 +1,6 @@
 //! The collector: selection + survivor planning + application.
 
+use odbgc_sched::{BucketStats, SchedStats, SchedTotals, Scheduler, WorkerLoad};
 use odbgc_store::{CollectionApplied, PartitionId, Store};
 
 use odbgc_store::ObjectId;
@@ -40,12 +41,23 @@ pub fn collect_partition(store: &mut Store, p: PartitionId) -> CollectionApplied
 ///
 /// Owns the reusable planning buffers ([`CollectScratch`] plus the
 /// survivor list), so steady-state collections through
-/// [`Collector::collect_once`] allocate nothing.
+/// [`Collector::collect_once`] allocate nothing on the single-worker
+/// path.
+///
+/// With [`Collector::with_workers`] the collector plans survivors
+/// through the packet-graph scheduler (`odbgc-sched`): root-scan and
+/// trace buckets run on a crew of collector workers, sweeps and remset
+/// updates apply sequentially. Store effects are byte-identical at any
+/// worker count; only the volatile scheduler statistics
+/// ([`Collector::last_sched_stats`]) vary.
 pub struct Collector {
     selector: Box<dyn PartitionSelector + Send>,
     collections: u64,
     scratch: CollectScratch,
     survivors: Vec<ObjectId>,
+    sched: Scheduler,
+    last_stats: Option<SchedStats>,
+    totals: SchedTotals,
 }
 
 impl std::fmt::Debug for Collector {
@@ -53,18 +65,29 @@ impl std::fmt::Debug for Collector {
         f.debug_struct("Collector")
             .field("selector", &self.selector.name())
             .field("collections", &self.collections)
+            .field("workers", &self.sched.workers())
             .finish()
     }
 }
 
 impl Collector {
-    /// A collector using the given selection policy.
+    /// A single-worker collector using the given selection policy.
     pub fn new(selector: Box<dyn PartitionSelector + Send>) -> Self {
+        Self::with_workers(selector, 1)
+    }
+
+    /// A collector planning survivors on a pool of `workers` collector
+    /// workers (clamped to ≥ 1). `workers == 1` is exactly [`Collector::new`]:
+    /// the sequential planner, no packets, no spawns.
+    pub fn with_workers(selector: Box<dyn PartitionSelector + Send>, workers: usize) -> Self {
         Collector {
             selector,
             collections: 0,
             scratch: CollectScratch::new(),
             survivors: Vec::new(),
+            sched: Scheduler::new(workers),
+            last_stats: None,
+            totals: SchedTotals::default(),
         }
     }
 
@@ -74,8 +97,45 @@ impl Collector {
         let snapshots = store.partition_snapshots();
         let p = self.selector.select(&snapshots)?;
         self.collections += 1;
-        crate::cheney::plan_survivors_into(store, p, &mut self.scratch, &mut self.survivors);
-        Some(store.apply_collection(p, &self.survivors))
+        let applied = if self.sched.workers() == 1 {
+            let start = std::time::Instant::now();
+            crate::cheney::plan_survivors_into(store, p, &mut self.scratch, &mut self.survivors);
+            let applied = store.apply_collection(p, &self.survivors);
+            // Synthesize the single-worker execution record so telemetry
+            // and utilization reporting see every collection, whatever
+            // the pool size.
+            let mut stats = SchedStats::new(1);
+            stats.push(BucketStats {
+                label: "collect",
+                packets: 1,
+                workers: vec![WorkerLoad {
+                    executed: 1,
+                    steals: 0,
+                    busy_ns: start.elapsed().as_nanos() as u64,
+                }],
+            });
+            self.record(stats);
+            applied
+        } else {
+            let mut stats = SchedStats::new(self.sched.workers());
+            crate::parallel::plan_survivors_parallel(
+                store,
+                p,
+                &self.sched,
+                &mut self.survivors,
+                &mut stats,
+            );
+            let applied =
+                crate::parallel::apply_planned(store, p, &self.survivors, &self.sched, &mut stats);
+            self.record(stats);
+            applied
+        };
+        Some(applied)
+    }
+
+    fn record(&mut self, stats: SchedStats) {
+        self.totals.absorb(&stats);
+        self.last_stats = Some(stats);
     }
 
     /// Total collections performed by this collector.
@@ -86,6 +146,21 @@ impl Collector {
     /// The selection policy's name.
     pub fn selector_name(&self) -> &'static str {
         self.selector.name()
+    }
+
+    /// Configured collector-worker pool size.
+    pub fn workers(&self) -> usize {
+        self.sched.workers()
+    }
+
+    /// Execution record of the most recent collection, if any.
+    pub fn last_sched_stats(&self) -> Option<&SchedStats> {
+        self.last_stats.as_ref()
+    }
+
+    /// Scheduler totals across every collection so far.
+    pub fn sched_totals(&self) -> SchedTotals {
+        self.totals
     }
 }
 

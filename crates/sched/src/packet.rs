@@ -1,0 +1,24 @@
+//! The packet traits: units of collection work.
+
+/// A unit of read-only collection work.
+///
+/// Packets in one bucket may execute concurrently on any worker, so a
+/// packet may only *read* the shared context and *write* into itself.
+/// Results are collected by the caller after the bucket drains, in
+/// packet-index order — which is what makes the reduction independent
+/// of the execution schedule.
+pub trait Packet<C>: Send {
+    /// Executes the packet against the shared context.
+    fn run(&mut self, ctx: &C);
+}
+
+/// A unit of mutating collection work.
+///
+/// Mutable-context buckets are coordinator work: the scheduler runs
+/// them sequentially on the calling thread, in packet-index order, so
+/// every store mutation happens in the same canonical order at every
+/// worker count.
+pub trait PacketMut<C> {
+    /// Executes the packet against the exclusive context.
+    fn run(&mut self, ctx: &mut C);
+}

@@ -31,15 +31,17 @@
 //!
 //! Readers must reject documents whose `schema` is unknown or whose
 //! `version` is newer than theirs ([`verify_header`]). Nondeterministic
-//! values (wall times, worker counts, machine load) live exclusively
-//! under keys named `timing` or prefixed `wall_`, so
-//! [`Json::strip_volatile`] yields a byte-identical document for any
-//! worker count — the property `odbgc sweep --telemetry` tests rely on.
+//! values (wall times, worker counts, machine load, GC-scheduler
+//! execution records) live exclusively under keys named `timing` or
+//! prefixed `wall_` / `sched_`, so [`Json::strip_volatile`] yields a
+//! byte-identical document for any worker count — the property
+//! `odbgc sweep --telemetry` tests rely on.
 
 use std::time::Duration;
 
 use odbgc_core::ClampHit;
 use odbgc_engine::{CounterSnapshot, EngineObserver};
+use odbgc_gc::SchedStats;
 
 use crate::runner::{ExperimentPlan, PlanOutcome};
 
@@ -145,16 +147,19 @@ impl Json {
     }
 
     /// A copy with every nondeterministic field removed: object entries
-    /// whose key is `timing` or starts with `wall_` are dropped,
-    /// recursively. Two documents describing the same deterministic
-    /// outcome compare equal after stripping, regardless of worker count
-    /// or machine speed.
+    /// whose key is `timing`, starts with `wall_`, or starts with
+    /// `sched_` (GC-scheduler execution records, which vary with the
+    /// collector worker count) are dropped, recursively. Two documents
+    /// describing the same deterministic outcome compare equal after
+    /// stripping, regardless of worker count or machine speed.
     pub fn strip_volatile(&self) -> Json {
         match self {
             Json::Obj(fields) => Json::Obj(
                 fields
                     .iter()
-                    .filter(|(k, _)| k != "timing" && !k.starts_with("wall_"))
+                    .filter(|(k, _)| {
+                        k != "timing" && !k.starts_with("wall_") && !k.starts_with("sched_")
+                    })
                     .map(|(k, v)| (k.clone(), v.strip_volatile()))
                     .collect(),
             ),
@@ -621,6 +626,11 @@ pub struct RunTelemetry {
     pub decisions: Vec<DecisionRecord>,
     /// Closed phases, in trace order.
     pub phases: Vec<PhaseTelemetry>,
+    /// One scheduler execution record per collection, in collection
+    /// order. Volatile: busy times and steal counts vary run to run, so
+    /// these export only under the `sched_stats` key, which
+    /// [`Json::strip_volatile`] removes.
+    pub sched: Vec<SchedStats>,
     current: Option<PhaseAccumulator>,
 }
 
@@ -633,6 +643,7 @@ impl RunTelemetry {
             policy,
             decisions: Vec::new(),
             phases: Vec::new(),
+            sched: Vec::new(),
             current: Some(PhaseAccumulator::open("<start>".to_owned(), 0, 0, 0)),
         }
     }
@@ -645,6 +656,7 @@ impl RunTelemetry {
             policy,
             decisions,
             phases: Vec::new(),
+            sched: Vec::new(),
             current: None,
         }
     }
@@ -737,8 +749,42 @@ impl RunTelemetry {
                 "decisions".into(),
                 Json::Arr(self.decisions.iter().map(decision_to_json).collect()),
             ),
+            // Volatile by key: `sched_` prefix, stripped by
+            // `Json::strip_volatile`.
+            (
+                "sched_stats".into(),
+                Json::Arr(self.sched.iter().map(sched_to_json).collect()),
+            ),
         ])
     }
+}
+
+/// The JSON form of one collection's scheduler execution record. Lives
+/// only under the volatile `sched_stats` key.
+fn sched_to_json(stats: &SchedStats) -> Json {
+    Json::Obj(vec![
+        ("workers".into(), Json::u64(stats.workers as u64)),
+        ("packets".into(), Json::u64(stats.packets())),
+        ("steals".into(), Json::u64(stats.steals())),
+        ("busy_ns".into(), Json::u64(stats.busy_ns())),
+        (
+            "buckets".into(),
+            Json::Arr(
+                stats
+                    .buckets
+                    .iter()
+                    .map(|b| {
+                        Json::Obj(vec![
+                            ("label".into(), Json::str(b.label)),
+                            ("packets".into(), Json::u64(b.packets)),
+                            ("steals".into(), Json::u64(b.steals())),
+                            ("busy_ns".into(), Json::u64(b.busy_ns())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// The telemetry sink observes the engine directly: per-event counter
@@ -752,6 +798,10 @@ impl EngineObserver for RunTelemetry {
 
     fn note_decision(&mut self, record: &DecisionRecord) {
         self.account_decision(record.clone());
+    }
+
+    fn note_collection_sched(&mut self, stats: &SchedStats) {
+        self.sched.push(stats.clone());
     }
 }
 
@@ -956,6 +1006,7 @@ mod tests {
                 Json::Arr(vec![Json::Obj(vec![
                     ("x".into(), Json::u64(2)),
                     ("wall_ms".into(), Json::Arr(vec![Json::u64(9)])),
+                    ("sched_stats".into(), Json::Arr(vec![Json::u64(7)])),
                 ])]),
             ),
             (

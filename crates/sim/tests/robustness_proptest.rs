@@ -69,6 +69,7 @@ proptest! {
             deep_checks: true,
             exact_oracle_recompute: true,
             shadow_estimator: Some(EstimatorKind::fgs_hb_default()),
+            gc_workers: None,
         };
         let mut policy = build_policy(which, frac, rate);
         let r = Simulator::new(sim_config)
@@ -84,6 +85,41 @@ proptest! {
         // Series totals agree with ledgers.
         let gc_io: u64 = r.collections.iter().map(|c| c.gc_io).sum();
         prop_assert_eq!(gc_io, r.gc_io_total);
+    }
+
+    /// The parallel collector's deterministic reduction: any GC worker
+    /// count must produce the *identical* `RunResult` as the sequential
+    /// collector, for arbitrary workloads, policies, and selectors, with
+    /// deep consistency audits on after every collection.
+    #[test]
+    fn gc_worker_count_never_changes_results(
+        seed in any::<u64>(),
+        steps in 50usize..300,
+        which in arb_policy(),
+        selector in arb_selector(),
+        frac in 0.02f64..0.6,
+        rate in 2u64..60,
+        workers in 2usize..9,
+    ) {
+        let cfg = ChurnConfig { steps, ..ChurnConfig::default() };
+        let trace = churn(&cfg, seed);
+        let base = SimConfig {
+            store: StoreConfig::tiny(),
+            selector,
+            selector_seed: seed,
+            preamble_collections: 2,
+            deep_checks: true,
+            ..SimConfig::default()
+        };
+        let run = |gc_workers: usize| {
+            let mut policy = build_policy(which, frac, rate);
+            Simulator::new(SimConfig { gc_workers: Some(gc_workers), ..base.clone() })
+                .replay(&trace, policy.as_mut(), odbgc_sim::ReplayOptions::new())
+                .expect("synthetic workloads always replay")
+        };
+        let sequential = run(1);
+        let parallel = run(workers);
+        prop_assert_eq!(sequential, parallel);
     }
 
     #[test]

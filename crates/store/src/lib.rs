@@ -41,9 +41,9 @@ pub mod tracker;
 
 pub use config::{AllocPolicy, OverwriteSemantics, StoreConfig};
 pub use error::StoreError;
-pub use gcapi::{CollectionApplied, PartitionSnapshot};
+pub use gcapi::{CollectionApplied, PartitionSnapshot, PendingSweep};
 pub use ids::{PageKey, PartitionId};
 pub use io::{IoClass, IoLedger, IoSnapshot};
-pub use store::{ApplyOutcome, ReachSet, Store};
+pub use store::{ApplyOutcome, ReachSet, Store, StoreView};
 
 pub use odbgc_trace::{Event, ObjectId, SlotIdx};

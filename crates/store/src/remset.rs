@@ -167,6 +167,51 @@ impl RemTable {
             }
         }
     }
+
+    /// Structural audit: verifies the open-addressing invariants hold —
+    /// parallel arrays in lockstep, power-of-two (or empty) capacity,
+    /// `len`/`used` matching the control bytes, and every FULL key
+    /// reachable by its own probe sequence (i.e. no entry was stranded by
+    /// a torn rehash or deletion).
+    fn check_structure(&self, p: usize) -> Result<(), String> {
+        let cap = self.ctrl.len();
+        if self.keys.len() != cap || self.vals.len() != cap {
+            return Err(format!(
+                "remset[{p}]: parallel arrays out of lockstep ({cap}/{}/{})",
+                self.keys.len(),
+                self.vals.len()
+            ));
+        }
+        if cap != 0 && !cap.is_power_of_two() {
+            return Err(format!("remset[{p}]: capacity {cap} not a power of two"));
+        }
+        let full = self.ctrl.iter().filter(|&&c| c == FULL).count();
+        let dead = self.ctrl.iter().filter(|&&c| c == TOMBSTONE).count();
+        if full != self.len {
+            return Err(format!(
+                "remset[{p}]: len {} but {full} FULL slots",
+                self.len
+            ));
+        }
+        if full + dead != self.used {
+            return Err(format!(
+                "remset[{p}]: used {} but {full} FULL + {dead} TOMBSTONE slots",
+                self.used
+            ));
+        }
+        for (i, &c) in self.ctrl.iter().enumerate() {
+            if c != FULL {
+                continue;
+            }
+            let key = self.keys[i];
+            if self.probe(key).0 != Some(i) {
+                return Err(format!(
+                    "remset[{p}]: entry at slot {i} unreachable by its probe sequence"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Remembered sets for all partitions.
@@ -255,6 +300,18 @@ impl RemSets {
     pub fn total_entries(&self) -> usize {
         self.sets.iter().map(|t| t.len).sum()
     }
+
+    /// Structural audit of every per-partition table (see
+    /// `RemTable::check_structure`). Run by the store's deep consistency
+    /// check after collections — in particular after parallel
+    /// collections, where it proves the sweep/finalize split left no
+    /// torn table behind.
+    pub fn check_structure(&self) -> Result<(), String> {
+        for (p, set) in self.sets.iter().enumerate() {
+            set.check_structure(p)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +389,24 @@ mod tests {
         rs.insert(oid(1), s(0), pid(0), oid(8), pid(1));
         assert_eq!(rs.entry_count(pid(1)), 1);
         assert_eq!(rs.external_targets(pid(1)), vec![oid(8)]);
+    }
+
+    #[test]
+    fn structural_audit_passes_under_churn() {
+        let mut rs = RemSets::new();
+        rs.check_structure()
+            .expect("empty sets are structurally ok");
+        for round in 0..3u64 {
+            for i in 0..150u64 {
+                rs.insert(oid(i), s(round as u32), pid(0), oid(500 + i), pid(1));
+            }
+            for i in (0..150u64).step_by(3) {
+                rs.remove(oid(i), s(round as u32), pid(1));
+            }
+            rs.check_structure().expect("audit after churn round");
+        }
+        rs.retain_targets(pid(1), |t| t.raw() % 2 == 0);
+        rs.check_structure().expect("audit after retain");
     }
 
     #[test]

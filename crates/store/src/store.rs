@@ -9,7 +9,7 @@ use crate::alloc;
 use crate::buffer::{BufferPool, BufferStats};
 use crate::config::{OverwriteSemantics, StoreConfig};
 use crate::error::StoreError;
-use crate::gcapi::{CollectionApplied, PartitionSnapshot};
+use crate::gcapi::{CollectionApplied, PartitionSnapshot, PendingSweep};
 use crate::ids::{page_span, PageKey, PartitionId};
 use crate::io::{IoClass, IoLedger};
 use crate::object::{ObjState, ObjectInfo, PackedSlot};
@@ -916,6 +916,10 @@ impl Store {
     ///    sums.
     pub fn check_consistency(&self) -> Result<(), String> {
         // -- remembered sets ------------------------------------------------
+        // Structural audit first: if a (parallel) collection tore a
+        // table's internals, the semantic checks below could loop or
+        // report nonsense.
+        self.remsets.check_structure()?;
         let mut expected_entries = 0usize;
         for (raw, slot) in self.objects.iter().enumerate() {
             let Some(info) = slot else { continue };
@@ -1203,6 +1207,22 @@ impl Store {
         p: PartitionId,
         survivors: &[ObjectId],
     ) -> CollectionApplied {
+        let pending = self.sweep_partition(p, survivors);
+        self.finish_collection(pending)
+    }
+
+    /// The sweep half of [`Store::apply_collection`]: destroys every
+    /// resident of `p` not in `survivors` and compacts the survivors in
+    /// the given order, but defers the cross-store finalization
+    /// (remembered-set pruning, collector I/O charges, buffer
+    /// invalidation, allocator refresh) to
+    /// [`Store::finish_collection`].
+    ///
+    /// Callers must pass the returned [`PendingSweep`] to
+    /// [`Store::finish_collection`] before the next collection or
+    /// consistency check; the two calls compose to exactly
+    /// [`Store::apply_collection`].
+    pub fn sweep_partition(&mut self, p: PartitionId, survivors: &[ObjectId]) -> PendingSweep {
         let occupied_pages_before =
             u64::from(self.partitions[p.index()].occupied_pages(self.config.page_size));
         let overwrites_at_collection = self.partitions[p.index()].overwrites;
@@ -1328,6 +1348,26 @@ impl Store {
             });
         }
 
+        let objects_destroyed = doomed.len();
+        self.doomed_scratch = doomed;
+
+        PendingSweep {
+            partition: p,
+            bytes_reclaimed,
+            objects_destroyed,
+            objects_survived: survivors.len(),
+            occupied_pages_before,
+            overwrites_at_collection,
+        }
+    }
+
+    /// The finalize half of [`Store::apply_collection`]: prunes the
+    /// remembered sets of the swept partition, charges collector I/O,
+    /// invalidates the partition's buffered pages, and refreshes the
+    /// allocator's view of the reclaimed space.
+    pub fn finish_collection(&mut self, pending: PendingSweep) -> CollectionApplied {
+        let p = pending.partition;
+
         // Safety net: no remembered entry may point at a destroyed target.
         let objects = &self.objects;
         self.remsets.retain_targets(p, |t| {
@@ -1340,7 +1380,8 @@ impl Store {
         // Phase 4: I/O and buffer effects.
         let occupied_pages_after =
             u64::from(self.partitions[p.index()].occupied_pages(self.config.page_size));
-        self.io.charge_reads(IoClass::Gc, occupied_pages_before);
+        self.io
+            .charge_reads(IoClass::Gc, pending.occupied_pages_before);
         self.io.charge_writes(IoClass::Gc, occupied_pages_after);
         self.buffer.invalidate_partition(p);
 
@@ -1350,18 +1391,120 @@ impl Store {
         self.free_cache[p.index()] = self.partitions[p.index()].free_bytes();
         self.alloc_cursor = self.alloc_cursor.min(p.index());
 
-        let objects_destroyed = doomed.len();
-        self.doomed_scratch = doomed;
-
         CollectionApplied {
             partition: p,
-            bytes_reclaimed,
+            bytes_reclaimed: pending.bytes_reclaimed,
             bytes_after: u64::from(self.partitions[p.index()].high_water),
-            objects_destroyed,
-            objects_survived: survivors.len(),
-            gc_reads: occupied_pages_before,
+            objects_destroyed: pending.objects_destroyed,
+            objects_survived: pending.objects_survived,
+            gc_reads: pending.occupied_pages_before,
             gc_writes: occupied_pages_after,
-            overwrites_at_collection,
+            overwrites_at_collection: pending.overwrites_at_collection,
+        }
+    }
+
+    /// A read-only, `Send + Sync` view of the store for concurrent trace
+    /// packets. See [`StoreView`].
+    pub fn view(&self) -> StoreView<'_> {
+        StoreView { store: self }
+    }
+}
+
+/// A read-only view of a [`Store`] safe to share across collector
+/// workers.
+///
+/// The view exposes exactly the traversal surface a trace packet needs
+/// — partition roots, slot children, residency — and none of the
+/// mutating surface. Crucially, [`StoreView::for_each_unmarked_child_in`]
+/// *reads* visit marks but never writes them: during a parallel trace
+/// bucket the marks are frozen (they were last written by the sequential
+/// reduce of the previous BFS level), so concurrent packets observe a
+/// consistent snapshot and the candidate lists they emit are a pure
+/// function of the level's frontier.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreView<'a> {
+    store: &'a Store,
+}
+
+impl StoreView<'_> {
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.store.partitions.len()
+    }
+
+    /// Capacity in bytes of partition `p`.
+    pub fn partition_capacity(&self, p: PartitionId) -> u32 {
+        self.store.partitions[p.index()].capacity
+    }
+
+    /// Objects resident in `p` (live + garbage) in layout order.
+    pub fn residents_of(&self, p: PartitionId) -> &[ObjectId] {
+        self.store.residents_of(p)
+    }
+
+    /// The byte offset of `id` within its partition. Offsets are unique
+    /// per partition and below its capacity, so packets can use them to
+    /// index packet-local visited bitmaps without hashing.
+    pub fn offset_of(&self, id: ObjectId) -> u32 {
+        self.store.objects[id.raw() as usize]
+            .as_ref()
+            .expect("resident object")
+            .offset
+    }
+
+    /// Allocation-free collection roots of `p` (sorted, deduped). Same
+    /// contract as [`Store::partition_roots_into`].
+    pub fn partition_roots_into(&self, p: PartitionId, out: &mut Vec<ObjectId>) {
+        self.store.partition_roots_into(p, out);
+    }
+
+    /// For every non-null slot target of `cur` that resides in partition
+    /// `p` and is not marked in `epoch`: calls `f` with it, in slot
+    /// order. The read-only sibling of
+    /// [`Store::mark_unvisited_children`] — it *never writes marks*, so
+    /// concurrent packets tracing different parents cannot race; the
+    /// caller marks (and dedups) the emitted candidates afterwards, in
+    /// canonical order.
+    pub fn for_each_unmarked_child_in(
+        &self,
+        cur: ObjectId,
+        p: PartitionId,
+        epoch: u32,
+        mut f: impl FnMut(ObjectId),
+    ) {
+        let range = self.store.objects[cur.raw() as usize]
+            .as_ref()
+            .expect("resident object")
+            .slot_range();
+        for i in range {
+            let Some(t) = self.store.slot_arena[i].get() else {
+                continue;
+            };
+            match self.store.objects.get(t.raw() as usize) {
+                Some(Some(info)) if info.partition == p && info.mark_epoch != epoch => f(t),
+                _ => {}
+            }
+        }
+    }
+
+    /// For every non-null slot target of `cur` that resides in partition
+    /// `p`: calls `f` with it, in slot order, with no epoch filter.
+    /// Packets that keep a packet-local visited structure (the batched
+    /// multi-partition planner) use this instead of the shared epoch
+    /// marks.
+    pub fn for_each_child_in(&self, cur: ObjectId, p: PartitionId, mut f: impl FnMut(ObjectId)) {
+        let range = self.store.objects[cur.raw() as usize]
+            .as_ref()
+            .expect("resident object")
+            .slot_range();
+        for i in range {
+            let Some(t) = self.store.slot_arena[i].get() else {
+                continue;
+            };
+            match self.store.objects.get(t.raw() as usize) {
+                Some(Some(info)) if info.partition == p => f(t),
+                _ => {}
+            }
         }
     }
 }

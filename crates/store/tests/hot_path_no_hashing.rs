@@ -23,6 +23,11 @@ const HOT_PATH_SOURCES: &[(&str, &str)] = &[
         "gc/src/collector.rs",
         include_str!("../../gc/src/collector.rs"),
     ),
+    (
+        "gc/src/parallel.rs",
+        include_str!("../../gc/src/parallel.rs"),
+    ),
+    ("sched/src/pool.rs", include_str!("../../sched/src/pool.rs")),
 ];
 
 /// Strips `//`-style comments (doc comments included). Good enough for

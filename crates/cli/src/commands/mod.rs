@@ -1,8 +1,10 @@
 //! The CLI subcommands.
 
+pub mod client;
 pub mod generate;
 pub mod info;
 pub mod run;
+pub mod serve;
 pub mod serve_bench;
 pub mod sweep;
 pub mod telemetry;
@@ -71,8 +73,9 @@ pub fn write_trace_file(path: &str, trace: &Trace, format: TraceFormat) -> Resul
     Ok(bytes.len() as u64)
 }
 
-/// Parses the `--gc-workers` flag shared by `run`, `sweep`, and
-/// `serve-bench`: the collector-worker pool size per engine. `None`
+/// Parses the `--gc-workers` flag shared by `run`, `sweep`,
+/// `serve-bench`, and `serve`: the collector-worker pool size per
+/// engine. `None`
 /// (flag absent) defers to the `ODBGC_GC_WORKERS` environment variable,
 /// else 1. Worker count never changes results — only wall-clock time
 /// and volatile scheduler telemetry.

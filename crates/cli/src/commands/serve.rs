@@ -1,0 +1,233 @@
+//! `odbgc serve` — the network serve front-end: bind a socket, serve
+//! client sessions until one requests a graceful drain, then report and
+//! (optionally) write per-shard telemetry.
+//!
+//! The bound address is announced on **stderr** (and, with
+//! `--addr-file`, written to a file) as soon as the listener is up, so
+//! scripts using `--listen 127.0.0.1:0` can discover the ephemeral
+//! port; stdout carries the end-of-run report only.
+
+use odbgc_net::{NetConfig, NetServer};
+use odbgc_sim::{Json, RunTelemetry, SimConfig};
+
+use crate::flags::Flags;
+use crate::spec;
+use crate::CliError;
+
+/// Binds and serves until a client sends Shutdown; returns the drain
+/// report.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    let listen = flags.get_or("listen", "127.0.0.1:0".to_owned())?;
+    let policy_spec = flags.require("policy")?;
+    let shards: u32 = flags.get_or("shards", 2)?;
+    let window_max: u32 = flags.get_or("window-max", 64)?;
+    let idle_timeout_ms: u64 = flags.get_or("idle-timeout-ms", 30_000)?;
+    let store_geometry = flags.get("store");
+    let telemetry_path = flags.get("telemetry");
+    let addr_file = flags.get("addr-file");
+    let gc_workers = crate::commands::parse_gc_workers(&flags)?;
+    flags.finish()?;
+
+    if shards == 0 {
+        return Err(CliError("--shards must be at least 1".into()));
+    }
+    if window_max == 0 {
+        return Err(CliError("--window-max must be at least 1".into()));
+    }
+    // Validate the spec once up front so a bad spec fails before bind.
+    spec::build_policy(&policy_spec)?;
+
+    let mut engine_config = SimConfig {
+        gc_workers,
+        ..SimConfig::default()
+    };
+    match store_geometry.as_deref() {
+        None | Some("tiny") => engine_config.store = odbgc_sim::store::StoreConfig::tiny(),
+        Some("paper") => {}
+        Some(other) => {
+            return Err(CliError(format!(
+                "unknown store geometry {other:?} (paper | tiny)"
+            )))
+        }
+    }
+
+    let config = NetConfig {
+        engine: engine_config,
+        shards,
+        window_max,
+        idle_timeout: std::time::Duration::from_millis(idle_timeout_ms.max(1)),
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind(&listen, config, |_| {
+        spec::build_policy(&policy_spec).expect("spec validated above")
+    })
+    .map_err(|e| CliError(format!("serve: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError(format!("serve: local_addr: {e}")))?;
+    eprintln!("odbgc serve: listening on {addr} ({shards} shard(s), policy {policy_spec})");
+    if let Some(path) = &addr_file {
+        std::fs::write(path, addr.to_string())
+            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+    }
+
+    let outcome = server.run();
+
+    let mut out = format!(
+        "serve: drained after {} client connection(s) on {shards} shard(s), policy {policy_spec}",
+        outcome.clients.len()
+    );
+    for (i, shard) in outcome.shards.iter().enumerate() {
+        out.push_str(&format!(
+            "\nshard {i}: policy {}\n\
+             \x20 events applied:   {}\n\
+             \x20 collections:      {}\n\
+             \x20 decisions logged: {}\n\
+             \x20 app I/O:          {} pages\n\
+             \x20 GC I/O:           {} pages ({:.2}% of total)\n\
+             \x20 garbage left:     {:.1} KiB",
+            shard.policy,
+            shard.result.events_replayed,
+            shard.result.collection_count(),
+            shard.decisions.len(),
+            shard.result.app_io_total,
+            shard.result.gc_io_total,
+            shard.result.gc_io_pct_whole_run(),
+            shard.result.final_garbage_bytes as f64 / 1024.0,
+        ));
+        if let Some(failed) = &shard.failed {
+            out.push_str(&format!("\n\x20 FAILED:           {failed}"));
+        }
+    }
+    for c in &outcome.clients {
+        // Per-client accounting is timing-dependent (bytes include
+        // retries, stall time is wall clock); it lives on its own lines
+        // here and under volatile `net_` keys in telemetry.
+        out.push_str(&format!(
+            "\nclient session {}: {} turns, {} ops, {} busy rejection(s), \
+             {} B in / {} B out, GC stall {:.3} ms, {}",
+            c.session,
+            c.turns,
+            c.ops,
+            c.busy_rejections,
+            c.bytes_in,
+            c.bytes_out,
+            c.gc_stall_ns as f64 / 1e6,
+            if c.clean_close {
+                "clean close"
+            } else {
+                "unclean close"
+            },
+        ));
+    }
+
+    if let Some(path) = &telemetry_path {
+        for (i, shard) in outcome.shards.iter().enumerate() {
+            let mut doc =
+                RunTelemetry::from_decisions(shard.policy.clone(), shard.decisions.clone())
+                    .to_json();
+            // Per-client counters ride along under a `net_` key, which
+            // strip_volatile drops — the deterministic body stays
+            // byte-comparable with in-process serve telemetry.
+            if let Json::Obj(fields) = &mut doc {
+                fields.push(("net_clients".to_owned(), clients_json(&outcome.clients)));
+            }
+            let shard_path =
+                super::serve_bench::shard_telemetry_path(path, i, outcome.shards.len());
+            std::fs::write(&shard_path, doc.to_string_pretty())
+                .map_err(|e| CliError(format!("cannot write {shard_path:?}: {e}")))?;
+            out.push_str(&format!("\nshard {i} telemetry written to {shard_path}"));
+        }
+    }
+    Ok(out)
+}
+
+fn clients_json(clients: &[odbgc_net::ClientCounters]) -> Json {
+    Json::Arr(
+        clients
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("session".into(), Json::u64(c.session as u64)),
+                    ("turns".into(), Json::u64(c.turns)),
+                    ("ops".into(), Json::u64(c.ops)),
+                    ("bytes_in".into(), Json::u64(c.bytes_in)),
+                    ("bytes_out".into(), Json::u64(c.bytes_out)),
+                    ("busy_rejections".into(), Json::u64(c.busy_rejections)),
+                    ("gc_stall_ns".into(), Json::u64(c.gc_stall_ns)),
+                    ("clean_close".into(), Json::Bool(c.clean_close)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbgc_sim::engine::WorkloadParams;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn rejects_bad_flags_before_binding() {
+        assert!(run(&argv("--policy nope")).is_err());
+        assert!(run(&argv("--policy fixed:25 --shards 0")).is_err());
+        assert!(run(&argv("--policy fixed:25 --window-max 0")).is_err());
+        assert!(run(&argv("--policy fixed:25 --store weird")).is_err());
+        assert!(run(&argv("--policy fixed:25 --tpyo 1")).is_err());
+    }
+
+    /// End-to-end over loopback: serve in a thread, drive one client
+    /// through the public CLI path, drain, and check the report.
+    #[test]
+    fn serves_a_client_and_drains() {
+        let dir = std::env::temp_dir().join(format!("odbgc-serve-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let telemetry = dir.join("net.json");
+        let args = format!(
+            "--policy fixed:25 --shards 1 --listen 127.0.0.1:0 --addr-file {} --telemetry {}",
+            addr_file.display(),
+            telemetry.display()
+        );
+        let server = std::thread::spawn(move || run(&argv(&args)));
+        let addr = loop {
+            if let Ok(a) = std::fs::read_to_string(&addr_file) {
+                if !a.is_empty() {
+                    break a;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        let report = odbgc_net::run_client(&odbgc_net::ClientConfig {
+            addr,
+            session: 0,
+            ops: 200,
+            batch: 8,
+            window: 4,
+            workload: WorkloadParams::default(),
+            shutdown_after: true,
+        })
+        .expect("client run");
+        assert_eq!(report.ops_applied, 200);
+        let out = server.join().unwrap().expect("serve report");
+        assert!(
+            out.contains("drained after 1 client connection(s)"),
+            "{out}"
+        );
+        assert!(out.contains("client session 0: "), "{out}");
+        assert!(out.contains("telemetry written to"), "{out}");
+        let text = std::fs::read_to_string(&telemetry).unwrap();
+        assert!(
+            text.contains("net_clients"),
+            "telemetry carries client counters"
+        );
+        let doc = odbgc_sim::Json::parse(&text).expect("telemetry parses");
+        assert_eq!(odbgc_sim::verify_header(&doc).as_deref(), Ok("run"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -64,6 +64,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             seed: workload_seed,
             ..WorkloadParams::default()
         },
+        gc_fault: None,
     };
     let wall_start = std::time::Instant::now();
     let outcome = serve(config, |_| {
@@ -133,8 +134,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 }
 
 /// The telemetry file of one shard: the given path verbatim for a
-/// single-shard run, otherwise `name-shardN[.ext]`.
-fn shard_telemetry_path(path: &str, shard: usize, shard_count: usize) -> String {
+/// single-shard run, otherwise `name-shardN[.ext]`. Shared with
+/// `odbgc serve`, which writes the same per-shard documents.
+pub(crate) fn shard_telemetry_path(path: &str, shard: usize, shard_count: usize) -> String {
     if shard_count == 1 {
         return path.to_owned();
     }

@@ -63,6 +63,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "generate" => commands::generate::run(rest),
         "info" => commands::info::run(rest),
         "run" => commands::run::run(rest),
+        "serve" => commands::serve::run(rest),
+        "client" => commands::client::run(rest),
         "serve-bench" => commands::serve_bench::run(rest),
         "sweep" => commands::sweep::run(rest),
         "telemetry" => commands::telemetry::run(rest),
@@ -90,6 +92,11 @@ USAGE:
   odbgc serve-bench --policy <spec> [--sessions N] [--shards N] [--ops N]
                  [--batch N] [--sched-seed N] [--seed N] [--store tiny|paper]
                  [--telemetry <json>] [--gc-workers N]
+  odbgc serve    --policy <spec> [--listen HOST:PORT] [--shards N]
+                 [--window-max N] [--idle-timeout-ms N] [--addr-file <f>]
+                 [--store tiny|paper] [--telemetry <json>] [--gc-workers N]
+  odbgc client   --connect HOST:PORT [--session N] [--ops N] [--batch N]
+                 [--window N] [--seed N] [--shutdown true]
   odbgc sweep    --policy saio|saga[:estimator] --points a,b,c [--seeds A..B]
                  [--conn N] [--csv <file>] [--jobs N] [--corpus <dir>]
                  [--telemetry <json>] [--progress N] [--gc-workers N]
@@ -121,6 +128,16 @@ worker, interleaved by a scheduler seeded with --sched-seed — the same
 seed always reproduces the same schedule and per-shard results. With
 --telemetry it writes one run document per shard from the live decision
 log.
+
+serve exposes the same sharded engines over a socket: one GC worker per
+shard, per-client in-flight windows with explicit busy responses,
+idle-connection reaping, and a graceful drain (a client's --shutdown
+true) that finishes in-flight ops and flushes telemetry before closing.
+The bound address goes to stderr and --addr-file; per-client counters
+ride in telemetry under volatile net_ keys. client drives one seeded
+session against it — the same workload generator serve-bench schedules
+in-process, so loopback telemetry matches in-process telemetry after
+stripping volatile keys.
 
 --telemetry writes a versioned JSON document (policy decision log and
 per-phase accounting for `run`; per-job wall times, cache tiers, and the

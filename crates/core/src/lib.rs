@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod env;
 pub mod estimator;
 pub mod estimators;
 pub mod ewma;
@@ -41,6 +42,7 @@ pub mod saio;
 pub mod slope;
 pub mod spec;
 
+pub use env::parse_worker_env;
 pub use estimator::{EstimatorKind, GarbageEstimator};
 pub use estimators::cgs_cb::CgsCb;
 pub use estimators::fgs_hb::FgsHb;

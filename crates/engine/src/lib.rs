@@ -42,8 +42,9 @@ pub use observer::{CounterSnapshot, DecisionLog, DecisionRecord, EngineObserver}
 pub use result::RunResult;
 pub use series::CollectionRecord;
 pub use serve::{
-    serve, serve_replay, ServeConfig, ServeError, ServeOutcome, ServeReplayError, ShardOutcome,
-    WorkloadParams,
+    apply_ops, serve, serve_replay, GcFault, ObjRef, ServeConfig, ServeError, ServeErrorKind,
+    ServeOutcome, ServeReplayError, SessionObjects, SessionOp, SessionWorkload, ShardOutcome,
+    ShardSet, ShardStatus, ShardTurn, TurnApplied, TurnError, TurnErrorKind, WorkloadParams,
 };
 pub use session::{
     Accessed, Created, OpError, Overwrote, RootAdded, RootRemoved, Session, SessionId,

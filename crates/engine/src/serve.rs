@@ -1,20 +1,39 @@
-//! In-process multi-session serve mode.
+//! In-process multi-session serve mode, and the shard substrate the
+//! network front-end (`odbgc-net`) dispatches onto.
 //!
 //! N sessions submit operations concurrently against a set of engine
-//! shards (each shard owns one store, collector, and policy). A single
-//! scheduler thread interleaves sessions under a seeded RNG — so a given
-//! `(scheduler_seed, workload seed)` pair always produces the same
-//! operation interleaving — while due collections run on a background
-//! GC worker thread between operation batches, driven by the same
-//! trigger state and live counters the inline mode uses.
+//! shards (each shard owns one store, collector, and policy), packaged
+//! here as a [`ShardSet`]: per-shard `Mutex`/`Condvar` slots plus one
+//! background GC worker thread per shard. Drivers check a shard out
+//! ([`ShardSet::checkout`]), apply one turn of operations, and hand the
+//! shard back ([`ShardTurn::finish`]); if the shard's trigger is then
+//! due, its GC worker collects before the next turn can start, so
+//! collections land at deterministic points in each shard's operation
+//! stream.
+//!
+//! Operations are plain data ([`SessionOp`]) that name objects by
+//! *creation index* within the issuing session ([`ObjRef`]), not by raw
+//! [`ObjectId`]. That makes an operation stream a pure function of its
+//! seed — generators never need to see engine-assigned ids — and is what
+//! lets the same [`SessionWorkload`] drive the in-process scheduler here
+//! and the wire protocol in `odbgc-net` with identical semantics.
+//!
+//! Failure is typed, never a panic cascade: a GC worker that panics is
+//! caught (`catch_unwind`), its payload captured, and its shard marked
+//! failed — subsequent checkouts return a [`ServeError`] naming the
+//! panic while every other shard keeps serving and drains cleanly. A
+//! poisoned shard mutex (only possible if a *driver* thread panics while
+//! holding a turn) is likewise recovered into a clean [`ServeError`]
+//! instead of an opaque double panic.
 //!
 //! [`serve_replay`] is the degenerate configuration — one shard, one
 //! session, batch size one — used to prove the serve path is faithful:
 //! it produces a [`RunResult`] byte-identical to the simulator's inline
 //! replay of the same trace.
 
-use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use odbgc_core::RatePolicy;
 use odbgc_trace::{Event, ObjectId, SlotIdx, Trace};
@@ -26,6 +45,10 @@ use crate::engine::{CollectMode, StoreEngine};
 use crate::observer::{DecisionLog, DecisionRecord};
 use crate::result::RunResult;
 use crate::session::{OpError, Session, SessionId};
+
+// ---------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------
 
 /// Parameters of the synthetic mutator workload each session runs.
 ///
@@ -57,6 +80,752 @@ impl Default for WorkloadParams {
     }
 }
 
+/// A session-local object name: the index of the object in the order the
+/// session created it (0 = the session's first `Create`).
+///
+/// Operation streams address objects by creation index rather than by
+/// engine-assigned [`ObjectId`], so a stream can be generated — or sent
+/// over a wire — without waiting for any response. The applier resolves
+/// indices through the session's [`SessionObjects`] map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjRef(pub u64);
+
+/// One mutator operation, as plain data.
+///
+/// This is the unit the serve scheduler, the network protocol, and the
+/// workload generator all share. Applying a `SessionOp` through
+/// [`apply_ops`] funnels into the same typed [`Session`] methods a
+/// direct client would call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionOp {
+    /// Create a fresh object (`size` bytes, `slots` null pointer slots).
+    /// The object becomes addressable as the session's next [`ObjRef`].
+    Create {
+        /// Object size in bytes.
+        size: u32,
+        /// Number of pointer slots.
+        slots: u32,
+    },
+    /// Read an object (navigation; charges application I/O).
+    Access {
+        /// The object to read.
+        obj: ObjRef,
+    },
+    /// Store a pointer: `obj.slots[slot] = target` (`None` clears).
+    Overwrite {
+        /// The object whose slot is written.
+        obj: ObjRef,
+        /// The slot index.
+        slot: u32,
+        /// The new pointee, or `None` to clear.
+        target: Option<ObjRef>,
+    },
+    /// Add an object to the persistent root set.
+    AddRoot {
+        /// The object to pin.
+        obj: ObjRef,
+    },
+    /// Remove an object from the persistent root set.
+    RemoveRoot {
+        /// The object to unpin.
+        obj: ObjRef,
+    },
+}
+
+/// One session's creation-index → [`ObjectId`] map, maintained by
+/// [`apply_ops`] as `Create` operations execute.
+#[derive(Debug, Default)]
+pub struct SessionObjects {
+    created: Vec<ObjectId>,
+}
+
+impl SessionObjects {
+    /// An empty map for a fresh session.
+    pub fn new() -> Self {
+        SessionObjects::default()
+    }
+
+    /// Objects this session has created so far.
+    pub fn created_count(&self) -> u64 {
+        self.created.len() as u64
+    }
+
+    fn resolve(&self, r: ObjRef) -> Option<ObjectId> {
+        self.created.get(r.0 as usize).copied()
+    }
+}
+
+/// What applying one turn of operations did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TurnApplied {
+    /// Operations applied.
+    pub applied: u64,
+    /// Objects created by this turn.
+    pub created: u64,
+    /// Bytes that became garbage as a direct consequence of this turn's
+    /// overwrites and root removals.
+    pub garbage_created: u64,
+}
+
+/// A turn failed at `op_index` (operations before it were applied).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurnError {
+    /// Index of the failing operation within the submitted turn.
+    pub op_index: usize,
+    /// What went wrong.
+    pub kind: TurnErrorKind,
+}
+
+/// Why an operation in a turn failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TurnErrorKind {
+    /// The store rejected the operation.
+    Op(OpError),
+    /// The operation named a creation index the session has not reached
+    /// (a malformed stream; on the wire path, a protocol error).
+    UnknownRef {
+        /// The out-of-range creation index.
+        obj: u64,
+        /// How many objects the session has actually created.
+        created: u64,
+    },
+}
+
+impl std::fmt::Display for TurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            TurnErrorKind::Op(e) => write!(f, "op {}: {e}", self.op_index),
+            TurnErrorKind::UnknownRef { obj, created } => write!(
+                f,
+                "op {}: unknown object ref {obj} (session created {created})",
+                self.op_index
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TurnError {}
+
+/// Applies one turn of operations through a session, resolving
+/// [`ObjRef`]s via `objects` (and extending it at every `Create`).
+///
+/// On failure the error carries the index of the offending operation;
+/// everything before it has been applied and `objects` reflects the
+/// applied prefix.
+pub fn apply_ops<P: RatePolicy>(
+    sess: &mut Session<'_, P>,
+    objects: &mut SessionObjects,
+    ops: &[SessionOp],
+) -> Result<TurnApplied, TurnError> {
+    let mut out = TurnApplied::default();
+    for (op_index, op) in ops.iter().enumerate() {
+        let fail = |kind| TurnError { op_index, kind };
+        let resolve = |r: ObjRef| {
+            objects.resolve(r).ok_or(TurnError {
+                op_index,
+                kind: TurnErrorKind::UnknownRef {
+                    obj: r.0,
+                    created: objects.created_count(),
+                },
+            })
+        };
+        match *op {
+            SessionOp::Create { size, slots } => {
+                let created = sess
+                    .create(size, slots)
+                    .map_err(|e| fail(TurnErrorKind::Op(e)))?;
+                objects.created.push(created.id);
+                out.created += 1;
+            }
+            SessionOp::Access { obj } => {
+                let id = resolve(obj)?;
+                sess.access(id).map_err(|e| fail(TurnErrorKind::Op(e)))?;
+            }
+            SessionOp::Overwrite { obj, slot, target } => {
+                let id = resolve(obj)?;
+                let new = match target {
+                    Some(t) => Some(resolve(t)?),
+                    None => None,
+                };
+                let w = sess
+                    .overwrite(id, SlotIdx::new(slot), new)
+                    .map_err(|e| fail(TurnErrorKind::Op(e)))?;
+                out.garbage_created += w.garbage_created;
+            }
+            SessionOp::AddRoot { obj } => {
+                let id = resolve(obj)?;
+                sess.add_root(id).map_err(|e| fail(TurnErrorKind::Op(e)))?;
+            }
+            SessionOp::RemoveRoot { obj } => {
+                let id = resolve(obj)?;
+                let r = sess
+                    .remove_root(id)
+                    .map_err(|e| fail(TurnErrorKind::Op(e)))?;
+                out.garbage_created += r.garbage_created;
+            }
+        }
+        out.applied += 1;
+    }
+    Ok(out)
+}
+
+/// One session's workload generator: a pure function of
+/// `(params.seed + session, ops)` that yields operations in whole-action
+/// turns.
+///
+/// Every action is safe under deferred collection *between* turns:
+/// composite actions (create a child, then link it reachable) are never
+/// split across a turn boundary, so the collector never observes the
+/// momentarily-unreachable child — and a turn never exceeds the
+/// session's remaining operation budget, however the budget and the
+/// batch size line up (the PR 6 batch-accounting guarantee, preserved
+/// here for streams that cross a network backpressure boundary).
+#[derive(Debug)]
+pub struct SessionWorkload {
+    rng: StdRng,
+    /// Rooted anchors this session created: `(creation index, slots)`.
+    anchors: Vec<(ObjRef, u32)>,
+    /// Objects generated so far (the next `Create`'s [`ObjRef`]).
+    generated: u64,
+    remaining: u64,
+    params: WorkloadParams,
+}
+
+impl SessionWorkload {
+    /// The generator for session `session` with an `ops` total budget.
+    pub fn new(session: u32, params: WorkloadParams, ops: u64) -> Self {
+        SessionWorkload {
+            rng: StdRng::seed_from_u64(params.seed.wrapping_add(session as u64)),
+            anchors: Vec::new(),
+            generated: 0,
+            remaining: ops,
+            params,
+        }
+    }
+
+    /// Operations left in this session's budget.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// The workload parameters this generator draws from.
+    pub fn params(&self) -> WorkloadParams {
+        self.params
+    }
+
+    /// Generates the next turn: whole actions only, at most
+    /// `batch` operations, never more than the remaining budget.
+    /// Returns an empty vec when the budget is exhausted.
+    pub fn next_turn(&mut self, batch: u64) -> Vec<SessionOp> {
+        let mut ops = Vec::new();
+        while (ops.len() as u64) < batch && self.remaining > 0 {
+            let room = (batch - ops.len() as u64).min(self.remaining);
+            let n = self.push_action(&mut ops, room);
+            self.remaining -= n.min(self.remaining);
+        }
+        ops
+    }
+
+    /// Appends one action (1 or 2 operations, never more than `room`)
+    /// and returns the number of operations appended.
+    fn push_action(&mut self, ops: &mut Vec<SessionOp>, room: u64) -> u64 {
+        let params = self.params;
+        let roll = self.rng.random_range(0u32..100);
+        // Composite actions need room for both halves in this turn.
+        if room >= 2 && (self.anchors.is_empty() || roll < 10) {
+            // New rooted anchor.
+            let a = ObjRef(self.generated);
+            self.generated += 1;
+            ops.push(SessionOp::Create {
+                size: params.anchor_size,
+                slots: params.anchor_slots,
+            });
+            ops.push(SessionOp::AddRoot { obj: a });
+            self.anchors.push((a, params.anchor_slots));
+            return 2;
+        }
+        if self.anchors.is_empty() {
+            // No anchors and no room for the composite: burn one op on
+            // an unrooted create (immediate garbage — the collector's
+            // job is exactly to find it).
+            self.generated += 1;
+            ops.push(SessionOp::Create {
+                size: params.child_size,
+                slots: 0,
+            });
+            return 1;
+        }
+        let (anchor, slots) = self.anchors[self.rng.random_range(0..self.anchors.len())];
+        if room >= 2 && roll < 45 {
+            // Create a child and link it into a random anchor slot,
+            // atomically within this turn. Overwriting an existing
+            // pointer orphans the old child — garbage, by design.
+            let c = ObjRef(self.generated);
+            self.generated += 1;
+            ops.push(SessionOp::Create {
+                size: params.child_size,
+                slots: 0,
+            });
+            ops.push(SessionOp::Overwrite {
+                obj: anchor,
+                slot: self.rng.random_range(0..slots),
+                target: Some(c),
+            });
+            return 2;
+        }
+        if roll < 60 {
+            // Clear a random slot (may orphan a child).
+            ops.push(SessionOp::Overwrite {
+                obj: anchor,
+                slot: self.rng.random_range(0..slots),
+                target: None,
+            });
+            return 1;
+        }
+        // Navigate: read a rooted anchor.
+        ops.push(SessionOp::Access { obj: anchor });
+        1
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// A serve-mode failure, always typed — worker panics and poisoned locks
+/// are recovered into this, never re-thrown.
+#[derive(Debug)]
+pub struct ServeError {
+    /// The shard the failure occurred on.
+    pub shard: usize,
+    /// What went wrong.
+    pub kind: ServeErrorKind,
+}
+
+/// The ways a serve run can fail.
+#[derive(Debug)]
+pub enum ServeErrorKind {
+    /// A session operation failed (the store's complaint, typed).
+    Op(OpError),
+    /// An operation stream named an unknown creation index.
+    Turn(TurnError),
+    /// The shard's GC worker panicked; the payload is captured here and
+    /// the shard stops serving, while other shards continue.
+    WorkerPanic(String),
+    /// The shard's mutex was poisoned by a driver-thread panic and the
+    /// shard's state can no longer be trusted.
+    PoisonedLock,
+    /// A GC worker thread could not be spawned.
+    Spawn(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ServeErrorKind::Op(op) => write!(f, "shard {}: {op}", self.shard),
+            ServeErrorKind::Turn(t) => write!(f, "shard {}: {t}", self.shard),
+            ServeErrorKind::WorkerPanic(msg) => {
+                write!(f, "shard {}: GC worker panicked: {msg}", self.shard)
+            }
+            ServeErrorKind::PoisonedLock => {
+                write!(
+                    f,
+                    "shard {}: shard lock poisoned by a panicked driver",
+                    self.shard
+                )
+            }
+            ServeErrorKind::Spawn(msg) => {
+                write!(f, "shard {}: cannot spawn GC worker: {msg}", self.shard)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            ServeErrorKind::Op(op) => Some(op),
+            ServeErrorKind::Turn(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A trace event failed during [`serve_replay`].
+#[derive(Debug)]
+pub struct ServeReplayError {
+    /// Index of the failing event in the trace (for shard-level
+    /// failures: the index of the event whose turn hit the failure).
+    pub event_index: u64,
+    /// The failing operation or shard failure.
+    pub cause: ServeError,
+}
+
+impl std::fmt::Display for ServeReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event {}: {}", self.event_index, self.cause)
+    }
+}
+
+impl std::error::Error for ServeReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
+/// Renders a caught panic payload (mirrors the runner's job-panic
+/// rendering: `&str` and `String` payloads verbatim, anything else
+/// summarized).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard set
+// ---------------------------------------------------------------------
+
+/// One shard's progress snapshot, from [`ShardSet::status`].
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// Collections the shard has completed.
+    pub collections: u64,
+    /// The shard's failure notice, if it has stopped serving.
+    pub failed: Option<String>,
+}
+
+/// Kill-one-GC-worker fault injection: the named shard's worker panics
+/// when it is asked to collect after the shard has completed
+/// `after_collections` collections. For robustness tests — proves a
+/// worker death surfaces as a typed [`ServeError`] while other shards
+/// drain cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcFault {
+    /// The shard whose worker dies.
+    pub shard: u32,
+    /// Collections the shard completes before the fault fires.
+    pub after_collections: u64,
+}
+
+/// One shard's shared state: the engine (in deferred mode), its decision
+/// log, the "collection pending" flag the drivers and GC worker hand off
+/// through, and the failure latch.
+struct ShardState {
+    engine: StoreEngine,
+    log: DecisionLog,
+    collecting: bool,
+    shutdown: bool,
+    /// Set when the shard's GC worker panicked (payload) or its mutex
+    /// was poisoned; a failed shard refuses further checkouts.
+    failed: Option<ServeFailure>,
+}
+
+#[derive(Debug, Clone)]
+enum ServeFailure {
+    WorkerPanic(String),
+    Poisoned,
+}
+
+impl ServeFailure {
+    fn to_kind(&self) -> ServeErrorKind {
+        match self {
+            ServeFailure::WorkerPanic(msg) => ServeErrorKind::WorkerPanic(msg.clone()),
+            ServeFailure::Poisoned => ServeErrorKind::PoisonedLock,
+        }
+    }
+}
+
+struct Slot {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+}
+
+/// Locks a slot, recovering a poisoned mutex into the failure latch:
+/// poisoning means some *driver* thread panicked while holding a turn,
+/// so the shard is marked failed rather than propagating the panic.
+fn lock_recover(slot: &Slot) -> MutexGuard<'_, ShardState> {
+    match slot.state.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            if guard.failed.is_none() {
+                guard.failed = Some(ServeFailure::Poisoned);
+            }
+            guard
+        }
+    }
+}
+
+/// A set of engine shards with one background GC worker each.
+///
+/// This is the substrate both [`serve`] (in-process scheduler) and the
+/// `odbgc-net` socket front-end dispatch onto. Shards are addressed by
+/// index; session `i` conventionally maps to shard `i % shard_count`.
+pub struct ShardSet {
+    slots: Vec<Arc<Slot>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ShardSet {
+    /// Builds `shard_count` shards from per-shard engine configs and
+    /// policies, and spawns one GC worker thread per shard.
+    /// `make_policy` is called once per shard with the shard index.
+    pub fn new(
+        engine: &EngineConfig,
+        shard_count: usize,
+        mut make_policy: impl FnMut(u32) -> Box<dyn RatePolicy + Send>,
+        fault: Option<GcFault>,
+    ) -> Result<ShardSet, ServeError> {
+        let shard_count = shard_count.max(1);
+        let slots: Vec<Arc<Slot>> = (0..shard_count)
+            .map(|i| {
+                let mut eng = StoreEngine::new(engine.clone(), make_policy(i as u32));
+                eng.set_collect_mode(CollectMode::Deferred);
+                Arc::new(Slot {
+                    state: Mutex::new(ShardState {
+                        engine: eng,
+                        log: DecisionLog::default(),
+                        collecting: false,
+                        shutdown: false,
+                        failed: None,
+                    }),
+                    cv: Condvar::new(),
+                })
+            })
+            .collect();
+        let mut workers = Vec::with_capacity(shard_count);
+        for (i, slot) in slots.iter().enumerate() {
+            let slot = Arc::clone(slot);
+            let handle = std::thread::Builder::new()
+                .name(format!("odbgc-gc-{i}"))
+                .spawn(move || gc_worker(&slot, i, fault))
+                .map_err(|e| ServeError {
+                    shard: i,
+                    kind: ServeErrorKind::Spawn(e.to_string()),
+                })?;
+            workers.push(handle);
+        }
+        Ok(ShardSet { slots, workers })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Checks a shard out for one turn of operations, waiting for any
+    /// in-flight collection to finish first. The wait time is recorded
+    /// on the returned turn as GC-stall time (per-client accounting on
+    /// the network path).
+    ///
+    /// Fails — without panicking — when the shard's GC worker has died
+    /// or its mutex was poisoned.
+    pub fn checkout(&self, shard: usize) -> Result<ShardTurn<'_>, ServeError> {
+        let slot = &self.slots[shard];
+        let start = std::time::Instant::now();
+        let mut guard = lock_recover(slot);
+        while guard.collecting && guard.failed.is_none() {
+            guard = match slot.cv.wait(guard) {
+                Ok(g) => g,
+                Err(poisoned) => {
+                    let mut g = poisoned.into_inner();
+                    if g.failed.is_none() {
+                        g.failed = Some(ServeFailure::Poisoned);
+                    }
+                    g
+                }
+            };
+        }
+        if let Some(failure) = &guard.failed {
+            return Err(ServeError {
+                shard,
+                kind: failure.to_kind(),
+            });
+        }
+        Ok(ShardTurn {
+            slot,
+            shard,
+            gc_stall: start.elapsed(),
+            guard,
+        })
+    }
+
+    /// A snapshot of every shard's progress: completed collections and
+    /// the failure notice if the shard has died. Does not wait for
+    /// in-flight collections (collection counts may lag by the one in
+    /// flight), so it is safe to call from an admin path while turns
+    /// are being served.
+    pub fn status(&self) -> Vec<ShardStatus> {
+        self.slots
+            .iter()
+            .map(|slot| {
+                let st = lock_recover(slot);
+                ShardStatus {
+                    collections: st.engine.collection_count(),
+                    failed: st.failed.as_ref().map(|f| match f {
+                        ServeFailure::WorkerPanic(msg) => format!("GC worker panicked: {msg}"),
+                        ServeFailure::Poisoned => "shard lock poisoned".to_owned(),
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    /// Shuts every shard down: waits for in-flight collections to
+    /// drain, stops the GC workers, and consumes the set into per-shard
+    /// outcomes (failed shards report their captured failure).
+    pub fn shutdown(self) -> Vec<ShardOutcome> {
+        self.shutdown_with(|_| Vec::new())
+    }
+
+    /// [`ShardSet::shutdown`], with trace phase markers supplied per
+    /// shard for the outcome's [`RunResult`] (replay drivers record
+    /// these; live workloads have none).
+    pub fn shutdown_with(
+        self,
+        mut phases: impl FnMut(usize) -> Vec<(String, u64, u64)>,
+    ) -> Vec<ShardOutcome> {
+        for slot in &self.slots {
+            let mut st = lock_recover(slot);
+            st.shutdown = true;
+            drop(st);
+            slot.cv.notify_all();
+        }
+        for worker in self.workers {
+            // The worker catches its own panics (recording them in the
+            // failure latch), so join errors cannot carry a payload we
+            // would lose; a join failure is itself a worker death.
+            let _ = worker.join();
+        }
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let slot = Arc::try_unwrap(slot).unwrap_or_else(|_| {
+                    unreachable!("shard {i}: workers joined, no checkout can outlive the set")
+                });
+                let state = slot
+                    .state
+                    .into_inner()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let gc_workers = state.engine.gc_workers();
+                let sched = state.engine.sched_totals();
+                ShardOutcome {
+                    policy: state.engine.policy_name(),
+                    result: state.engine.into_result(phases(i)),
+                    decisions: state.log.decisions,
+                    gc_workers,
+                    sched,
+                    failed: state.failed.map(|f| match f {
+                        ServeFailure::WorkerPanic(msg) => format!("GC worker panicked: {msg}"),
+                        ServeFailure::Poisoned => "shard lock poisoned".to_owned(),
+                    }),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One checked-out turn on a shard: exclusive access to the shard's
+/// engine and decision log until [`ShardTurn::finish`] hands it back.
+pub struct ShardTurn<'a> {
+    slot: &'a Slot,
+    shard: usize,
+    /// How long the checkout waited for an in-flight collection.
+    pub gc_stall: Duration,
+    guard: MutexGuard<'a, ShardState>,
+}
+
+impl ShardTurn<'_> {
+    /// The shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The shard's engine and decision log, split for simultaneous
+    /// borrowing (sessions observe into the log).
+    pub fn parts(&mut self) -> (&mut StoreEngine, &mut DecisionLog) {
+        let state = &mut *self.guard;
+        (&mut state.engine, &mut state.log)
+    }
+
+    /// A session on this shard whose decisions feed the shard's log.
+    pub fn session(&mut self, id: SessionId) -> Session<'_> {
+        let state = &mut *self.guard;
+        state.engine.session_with(id, Some(&mut state.log))
+    }
+
+    /// Finishes the turn: if the shard's trigger is now due, hands the
+    /// shard to its GC worker (the next checkout waits until the
+    /// collection completes). Returns whether a collection was handed
+    /// off.
+    pub fn finish(mut self) -> bool {
+        let due = self.guard.engine.collection_due();
+        if due {
+            self.guard.collecting = true;
+        }
+        drop(self.guard);
+        if due {
+            self.slot.cv.notify_all();
+        }
+        due
+    }
+}
+
+/// The per-shard GC worker loop: waits for a collection handoff, drains
+/// the (re-armed) trigger, and hands the shard back. Panics inside the
+/// drain — including injected faults — are caught and recorded in the
+/// shard's failure latch; the mutex is never poisoned by this thread
+/// because the guard outlives the unwind.
+fn gc_worker(slot: &Slot, shard: usize, fault: Option<GcFault>) {
+    loop {
+        let mut st = lock_recover(slot);
+        while !st.collecting && !st.shutdown {
+            st = match slot.cv.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        if !st.collecting {
+            // Shutdown with nothing pending.
+            return;
+        }
+        let fault_due = fault.is_some_and(|f| {
+            f.shard as usize == shard && st.engine.collection_count() >= f.after_collections
+        });
+        let state = &mut *st;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if fault_due {
+                panic!("injected GC worker fault on shard {shard}");
+            }
+            // Drain: collect until the (re-armed) trigger is satisfied.
+            // Policies clamp triggers to ≥ 1 elapsed unit, so this runs
+            // at most one real collection plus possible no-partition
+            // re-arms.
+            while state.engine.collect_if_due(Some(&mut state.log)).is_some() {}
+        }));
+        st.collecting = false;
+        let died = outcome.is_err();
+        if let Err(payload) = outcome {
+            st.failed = Some(ServeFailure::WorkerPanic(panic_message(payload)));
+        }
+        drop(st);
+        slot.cv.notify_all();
+        if died {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serve
+// ---------------------------------------------------------------------
+
 /// Configuration of one serve run.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -76,6 +845,8 @@ pub struct ServeConfig {
     pub scheduler_seed: u64,
     /// The synthetic workload sessions run.
     pub workload: WorkloadParams,
+    /// Optional kill-one-GC-worker fault injection (robustness tests).
+    pub gc_fault: Option<GcFault>,
 }
 
 impl Default for ServeConfig {
@@ -88,49 +859,8 @@ impl Default for ServeConfig {
             batch: 8,
             scheduler_seed: 42,
             workload: WorkloadParams::default(),
+            gc_fault: None,
         }
-    }
-}
-
-/// A session operation failed during a serve run.
-#[derive(Debug)]
-pub struct ServeError {
-    /// The shard the failing session was mapped to.
-    pub shard: usize,
-    /// The failing operation.
-    pub op: OpError,
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "shard {}: {}", self.shard, self.op)
-    }
-}
-
-impl std::error::Error for ServeError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.op)
-    }
-}
-
-/// A trace event failed during [`serve_replay`].
-#[derive(Debug)]
-pub struct ServeReplayError {
-    /// Index of the failing event in the trace.
-    pub event_index: u64,
-    /// The failing operation.
-    pub cause: OpError,
-}
-
-impl std::fmt::Display for ServeReplayError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "event {}: {}", self.event_index, self.cause)
-    }
-}
-
-impl std::error::Error for ServeReplayError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.cause)
     }
 }
 
@@ -151,6 +881,9 @@ pub struct ShardOutcome {
     /// collection counts are deterministic; busy times and steal counts
     /// are volatile.
     pub sched: odbgc_gc::SchedTotals,
+    /// Why the shard stopped serving early, if it did (captured GC
+    /// worker panic payload or poisoned-lock notice).
+    pub failed: Option<String>,
 }
 
 /// What a serve run did.
@@ -163,105 +896,10 @@ pub struct ServeOutcome {
     pub schedule: Vec<u32>,
     /// Per-shard summaries (indexed by shard).
     pub shards: Vec<ShardOutcome>,
-}
-
-/// One session's workload generator.
-///
-/// Every action is safe under deferred collection *between* turns:
-/// composite actions (create a child, then link it reachable) complete
-/// within a single turn while the shard lock is held, so the collector
-/// never observes the momentarily-unreachable child.
-struct SessionWorkload {
-    rng: StdRng,
-    /// Rooted anchors this session created: `(id, slots)`.
-    anchors: Vec<(ObjectId, u32)>,
-    remaining: u64,
-}
-
-impl SessionWorkload {
-    fn new(session: u32, params: WorkloadParams, ops: u64) -> Self {
-        SessionWorkload {
-            rng: StdRng::seed_from_u64(params.seed.wrapping_add(session as u64)),
-            anchors: Vec::new(),
-            remaining: ops,
-        }
-    }
-
-    /// Applies up to `batch` operations through `sess`. Returns the
-    /// number applied.
-    fn run_turn<P: RatePolicy>(
-        &mut self,
-        sess: &mut Session<'_, P>,
-        batch: u64,
-        params: WorkloadParams,
-    ) -> Result<u64, OpError> {
-        let mut applied = 0u64;
-        while applied < batch && self.remaining > 0 {
-            let room = (batch - applied).min(self.remaining);
-            let n = self.step(sess, room, params)?;
-            applied += n;
-            self.remaining -= n.min(self.remaining);
-        }
-        Ok(applied)
-    }
-
-    /// Applies one action (1 or 2 operations, never more than `room`).
-    fn step<P: RatePolicy>(
-        &mut self,
-        sess: &mut Session<'_, P>,
-        room: u64,
-        params: WorkloadParams,
-    ) -> Result<u64, OpError> {
-        let roll = self.rng.random_range(0u32..100);
-        // Composite actions need room for both halves in this turn.
-        if room >= 2 && (self.anchors.is_empty() || roll < 10) {
-            // New rooted anchor.
-            let a = sess.create(params.anchor_size, params.anchor_slots)?;
-            sess.add_root(a.id)?;
-            self.anchors.push((a.id, params.anchor_slots));
-            return Ok(2);
-        }
-        if self.anchors.is_empty() {
-            // No anchors and no room for the composite: burn one op on
-            // an unrooted create (immediate garbage — the collector's
-            // job is exactly to find it).
-            sess.create(params.child_size, 0)?;
-            return Ok(1);
-        }
-        let (anchor, slots) = self.anchors[self.rng.random_range(0..self.anchors.len())];
-        if room >= 2 && roll < 45 {
-            // Create a child and link it into a random anchor slot,
-            // atomically within this turn. Overwriting an existing
-            // pointer orphans the old child — garbage, by design.
-            let c = sess.create(params.child_size, 0)?;
-            let slot = SlotIdx::new(self.rng.random_range(0..slots));
-            sess.overwrite(anchor, slot, Some(c.id))?;
-            return Ok(2);
-        }
-        if roll < 60 {
-            // Clear a random slot (may orphan a child).
-            let slot = SlotIdx::new(self.rng.random_range(0..slots));
-            sess.overwrite(anchor, slot, None)?;
-            return Ok(1);
-        }
-        // Navigate: read a rooted anchor.
-        sess.access(anchor)?;
-        Ok(1)
-    }
-}
-
-/// One shard's shared state: the engine (in deferred mode), its decision
-/// log, and the "collection pending" flag the scheduler and GC worker
-/// hand off through.
-struct ShardState {
-    engine: StoreEngine,
-    log: DecisionLog,
-    collecting: bool,
-}
-
-struct Slot {
-    state: Mutex<ShardState>,
-    cv: Condvar,
+    /// Shard-level failures observed while serving (one per failed
+    /// shard; the sessions mapped there stop, every other shard drains
+    /// cleanly to completion).
+    pub failures: Vec<ServeError>,
 }
 
 /// Runs a multi-session serve workload to completion.
@@ -270,119 +908,91 @@ struct Slot {
 /// scheduler thread picks among sessions with remaining work using an
 /// RNG seeded from [`ServeConfig::scheduler_seed`], applies one batch of
 /// that session's operations against its shard, and — if the shard's
-/// trigger is then due — hands the shard to the GC worker thread, which
+/// trigger is then due — hands the shard to its GC worker thread, which
 /// collects until the trigger is satisfied. The scheduler never touches
 /// a shard while it is collecting, so collections land at deterministic
 /// points in each shard's operation stream.
+///
+/// A failing session *operation* aborts the run with that error. A
+/// failing *shard* (GC worker panic, poisoned lock) does not: its
+/// sessions stop, the failure is recorded in
+/// [`ServeOutcome::failures`], and every other shard drains cleanly.
 pub fn serve(
     config: ServeConfig,
-    mut make_policy: impl FnMut(u32) -> Box<dyn RatePolicy + Send>,
+    make_policy: impl FnMut(u32) -> Box<dyn RatePolicy + Send>,
 ) -> Result<ServeOutcome, ServeError> {
     let sessions = config.sessions.max(1) as usize;
     let shard_count = (config.shards.max(1) as usize).min(sessions);
     let batch = config.batch.max(2);
 
-    let slots: Vec<Slot> = (0..shard_count)
-        .map(|i| {
-            let mut engine = StoreEngine::new(config.engine.clone(), make_policy(i as u32));
-            engine.set_collect_mode(CollectMode::Deferred);
-            Slot {
-                state: Mutex::new(ShardState {
-                    engine,
-                    log: DecisionLog::default(),
-                    collecting: false,
-                }),
-                cv: Condvar::new(),
-            }
-        })
-        .collect();
+    let set = ShardSet::new(&config.engine, shard_count, make_policy, config.gc_fault)?;
 
     let mut workloads: Vec<SessionWorkload> = (0..sessions)
         .map(|i| SessionWorkload::new(i as u32, config.workload, config.ops_per_session))
         .collect();
+    let mut objects: Vec<SessionObjects> = (0..sessions).map(|_| SessionObjects::new()).collect();
     let mut per_session_ops = vec![0u64; sessions];
     let mut schedule: Vec<u32> = Vec::new();
+    let mut failures: Vec<ServeError> = Vec::new();
+    let mut failed_shards = vec![false; shard_count];
 
-    let (tx, rx) = mpsc::channel::<usize>();
-    let failure = std::thread::scope(|scope| {
-        let slots = &slots;
-        let worker = scope.spawn(move || {
-            for i in rx {
-                let slot = &slots[i];
-                let mut st = slot.state.lock().expect("shard lock");
-                let state = &mut *st;
-                // Drain: collect until the (re-armed) trigger is
-                // satisfied. Policies clamp triggers to ≥ 1 elapsed
-                // unit, so this runs at most one real collection plus
-                // possible no-partition re-arms.
-                while state.engine.collect_if_due(Some(&mut state.log)).is_some() {}
-                st.collecting = false;
-                slot.cv.notify_all();
-            }
-        });
-
-        let mut rng = StdRng::seed_from_u64(config.scheduler_seed);
-        let mut active: Vec<usize> = (0..sessions).collect();
-        let mut failure: Option<ServeError> = None;
-        while !active.is_empty() {
-            let k = rng.random_range(0..active.len());
-            let si = active[k];
-            let shard_i = si % shard_count;
-            let slot = &slots[shard_i];
-            let mut st = slot.state.lock().expect("shard lock");
-            while st.collecting {
-                st = slot.cv.wait(st).expect("shard lock");
-            }
-            let state = &mut *st;
-            let mut sess = state
-                .engine
-                .session_with(SessionId::new(si as u32), Some(&mut state.log));
-            match workloads[si].run_turn(&mut sess, batch, config.workload) {
-                Ok(applied) => {
-                    per_session_ops[si] += applied;
-                    schedule.push(si as u32);
+    let mut rng = StdRng::seed_from_u64(config.scheduler_seed);
+    let mut active: Vec<usize> = (0..sessions).collect();
+    let mut fatal: Option<ServeError> = None;
+    while !active.is_empty() {
+        let k = rng.random_range(0..active.len());
+        let si = active[k];
+        let shard_i = si % shard_count;
+        let mut turn = match set.checkout(shard_i) {
+            Ok(turn) => turn,
+            Err(err) => {
+                // The shard is gone (worker panic / poisoned lock):
+                // record the typed failure once and retire every
+                // session mapped to it; other shards keep draining.
+                if !failed_shards[shard_i] {
+                    failed_shards[shard_i] = true;
+                    failures.push(err);
                 }
-                Err(op) => {
-                    failure = Some(ServeError { shard: shard_i, op });
-                    break;
-                }
+                active.retain(|&s| s % shard_count != shard_i);
+                continue;
             }
-            if st.engine.collection_due() {
-                st.collecting = true;
-                tx.send(shard_i).expect("gc worker alive");
+        };
+        let ops = workloads[si].next_turn(batch);
+        let mut sess = turn.session(SessionId::new(si as u32));
+        match apply_ops(&mut sess, &mut objects[si], &ops) {
+            Ok(applied) => {
+                per_session_ops[si] += applied.applied;
+                schedule.push(si as u32);
             }
-            drop(st);
-            if workloads[si].remaining == 0 {
-                active.swap_remove(k);
+            Err(err) => {
+                // A session op the store rejects is fatal to the run —
+                // but the set still shuts down cleanly below, so worker
+                // threads never outlive the call.
+                fatal = Some(ServeError {
+                    shard: shard_i,
+                    kind: match err.kind.clone() {
+                        TurnErrorKind::Op(op) => ServeErrorKind::Op(op),
+                        TurnErrorKind::UnknownRef { .. } => ServeErrorKind::Turn(err),
+                    },
+                });
+                break;
             }
         }
-        drop(tx);
-        worker.join().expect("gc worker panicked");
-        failure
-    });
-    if let Some(err) = failure {
-        return Err(err);
+        turn.finish();
+        if workloads[si].remaining() == 0 {
+            active.swap_remove(k);
+        }
     }
 
-    let shards = slots
-        .into_iter()
-        .map(|slot| {
-            let state = slot.state.into_inner().expect("shard lock");
-            let gc_workers = state.engine.gc_workers();
-            let sched = state.engine.sched_totals();
-            ShardOutcome {
-                policy: state.engine.policy_name(),
-                result: state.engine.into_result(Vec::new()),
-                decisions: state.log.decisions,
-                gc_workers,
-                sched,
-            }
-        })
-        .collect();
+    let shards = set.shutdown();
+    if let Some(err) = fatal {
+        return Err(err);
+    }
     Ok(ServeOutcome {
         per_session_ops,
         schedule,
         shards,
+        failures,
     })
 }
 
@@ -391,74 +1001,81 @@ pub fn serve(
 ///
 /// Produces a [`RunResult`] byte-identical to the simulator's inline
 /// replay of the same trace under the same configuration and policy:
-/// the scheduler applies exactly one event per turn and then waits for
+/// the driver applies exactly one event per turn and then waits for
 /// any due collection to finish before the next event, so collections
 /// fall between the same pair of events as in the inline loop, and the
 /// worker's drain loop degenerates to the inline single check (fresh
 /// triggers are clamped to ≥ 1 elapsed unit, so a second iteration
 /// never fires a real collection).
-pub fn serve_replay<P: RatePolicy + Send>(
+pub fn serve_replay<P: RatePolicy + Send + 'static>(
     config: EngineConfig,
     trace: &Trace,
     policy: P,
 ) -> Result<RunResult, ServeReplayError> {
-    struct State<P: RatePolicy> {
-        engine: StoreEngine<P>,
-        collecting: bool,
-    }
-    let mut engine = StoreEngine::new(config, policy);
-    engine.set_collect_mode(CollectMode::Deferred);
-    let state = Mutex::new(State {
-        engine,
-        collecting: false,
-    });
-    let cv = Condvar::new();
+    let mut policy = Some(policy);
+    let set = ShardSet::new(
+        &config,
+        1,
+        move |_| {
+            Box::new(
+                policy
+                    .take()
+                    .unwrap_or_else(|| unreachable!("serve_replay builds exactly one shard")),
+            )
+        },
+        None,
+    )
+    .map_err(|cause| ServeReplayError {
+        event_index: 0,
+        cause,
+    })?;
+
     let mut phases: Vec<(String, u64, u64)> = Vec::new();
-
-    let (tx, rx) = mpsc::channel::<()>();
-    let failure = std::thread::scope(|scope| {
-        let state = &state;
-        let cv = &cv;
-        let worker = scope.spawn(move || {
-            for () in rx {
-                let mut st = state.lock().expect("shard lock");
-                while st.engine.collect_if_due(None).is_some() {}
-                st.collecting = false;
-                cv.notify_all();
-            }
-        });
-
-        let mut failure: Option<ServeReplayError> = None;
-        for (i, ev) in trace.iter().enumerate() {
-            let mut st = state.lock().expect("shard lock");
-            while st.collecting {
-                st = cv.wait(st).expect("shard lock");
-            }
-            if let Event::Phase { id } = ev {
-                let name = trace.phase_name(*id).unwrap_or("<unknown>").to_owned();
-                phases.push((name, i as u64, st.engine.collection_count()));
-            }
-            if let Err(cause) = st.engine.session(SessionId::new(0)).apply_event(ev) {
-                failure = Some(ServeReplayError {
+    let mut fatal: Option<ServeReplayError> = None;
+    for (i, ev) in trace.iter().enumerate() {
+        let mut turn = match set.checkout(0) {
+            Ok(turn) => turn,
+            Err(cause) => {
+                fatal = Some(ServeReplayError {
                     event_index: i as u64,
                     cause,
                 });
                 break;
             }
-            if st.engine.collection_due() {
-                st.collecting = true;
-                tx.send(()).expect("gc worker alive");
-            }
+        };
+        if let Event::Phase { id } = ev {
+            let name = trace.phase_name(*id).unwrap_or("<unknown>").to_owned();
+            let (engine, _) = turn.parts();
+            phases.push((name, i as u64, engine.collection_count()));
         }
-        drop(tx);
-        worker.join().expect("gc worker panicked");
-        failure
-    });
-    if let Some(err) = failure {
+        if let Err(cause) = turn.session(SessionId::new(0)).apply_event(ev) {
+            fatal = Some(ServeReplayError {
+                event_index: i as u64,
+                cause: ServeError {
+                    shard: 0,
+                    kind: ServeErrorKind::Op(cause),
+                },
+            });
+            break;
+        }
+        turn.finish();
+    }
+
+    let mut shards = set.shutdown_with(|_| std::mem::take(&mut phases));
+    if let Some(err) = fatal {
         return Err(err);
     }
-    let state = state.into_inner().expect("shard lock");
-    Ok(state.engine.into_result(phases))
+    let shard = shards.remove(0);
+    if let Some(failure) = shard.failed {
+        return Err(ServeReplayError {
+            event_index: trace.len() as u64,
+            cause: ServeError {
+                shard: 0,
+                kind: ServeErrorKind::WorkerPanic(failure),
+            },
+        });
+    }
+    Ok(shard.result)
 }
 
 #[cfg(test)]
@@ -483,6 +1100,7 @@ mod tests {
         let out = serve(tiny_serve(7), |_| Box::new(FixedRatePolicy::new(20))).expect("serve run");
         assert_eq!(out.per_session_ops, vec![300, 300, 300]);
         assert_eq!(out.shards.len(), 2);
+        assert!(out.failures.is_empty());
         let total_collections: u64 = out.shards.iter().map(|s| s.result.collection_count()).sum();
         assert!(total_collections > 0, "rate-20 policy must collect");
         for shard in &out.shards {
@@ -492,6 +1110,7 @@ mod tests {
                 "one decision per collection, logged from live counters"
             );
             assert_eq!(shard.policy, "fixed(20)");
+            assert!(shard.failed.is_none());
         }
     }
 
@@ -509,5 +1128,118 @@ mod tests {
             a.schedule, c.schedule,
             "different scheduler seeds interleave differently"
         );
+    }
+
+    #[test]
+    fn workload_turns_respect_batch_and_budget() {
+        // Whole-action turns: never exceed the batch, never exceed the
+        // remaining budget, never split a composite across a boundary —
+        // whatever the batch/budget alignment.
+        for (ops, batch) in [(301u64, 4u64), (7, 2), (100, 3), (17, 8), (1, 8)] {
+            let mut w = SessionWorkload::new(0, WorkloadParams::default(), ops);
+            let mut total = 0u64;
+            loop {
+                let turn = w.next_turn(batch);
+                if turn.is_empty() {
+                    break;
+                }
+                assert!(turn.len() as u64 <= batch, "turn exceeds batch");
+                // A Create followed by AddRoot/Overwrite-link is a
+                // composite; both halves must be in this turn. Verify no
+                // turn *starts* with the second half of a composite:
+                // every Overwrite { target: Some(c) } and AddRoot names
+                // an object created in this or an earlier turn — and a
+                // linking op's child is created in the same turn.
+                for (i, op) in turn.iter().enumerate() {
+                    if let SessionOp::Overwrite {
+                        target: Some(c), ..
+                    } = op
+                    {
+                        // The linked child must be this turn's preceding op.
+                        assert!(
+                            matches!(turn[i - 1], SessionOp::Create { .. }),
+                            "link's create half fell outside the turn"
+                        );
+                        let _ = c;
+                    }
+                }
+                total += turn.len() as u64;
+                assert!(total <= ops, "budget overshoot: {total} > {ops}");
+            }
+            assert_eq!(total, ops, "budget must be spent exactly");
+            assert_eq!(w.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn workload_stream_is_a_pure_function_of_its_seed() {
+        let params = WorkloadParams::default();
+        let mut a = SessionWorkload::new(2, params, 200);
+        let mut b = SessionWorkload::new(2, params, 200);
+        loop {
+            let ta = a.next_turn(8);
+            let tb = b.next_turn(8);
+            assert_eq!(ta, tb);
+            if ta.is_empty() {
+                break;
+            }
+        }
+        // Different sessions draw different streams.
+        let mut c = SessionWorkload::new(3, params, 200);
+        let t2 = SessionWorkload::new(2, params, 200).next_turn(8);
+        assert_ne!(c.next_turn(8), t2);
+    }
+
+    #[test]
+    fn gc_worker_fault_is_typed_and_other_shards_drain() {
+        // Kill shard 0's GC worker at its first collection. Sessions 0
+        // and 2 (mapped to shard 0) stop; session 1 (shard 1) must
+        // complete every operation, and the failure must surface as a
+        // typed ServeError, not a panic or a poisoned-lock abort.
+        let config = ServeConfig {
+            gc_fault: Some(GcFault {
+                shard: 0,
+                after_collections: 0,
+            }),
+            ..tiny_serve(7)
+        };
+        let out = serve(config, |_| Box::new(FixedRatePolicy::new(20))).expect("serve survives");
+        assert_eq!(out.failures.len(), 1, "exactly one shard failed");
+        let failure = &out.failures[0];
+        assert_eq!(failure.shard, 0);
+        match &failure.kind {
+            ServeErrorKind::WorkerPanic(msg) => {
+                assert!(msg.contains("injected GC worker fault"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // Shard 1's only session (session 1) drained cleanly.
+        assert_eq!(out.per_session_ops[1], 300);
+        assert!(out.shards[1].failed.is_none());
+        assert!(out.shards[0].failed.is_some());
+        // And the failure is printable without touching the panic path.
+        assert!(failure.to_string().contains("GC worker panicked"));
+    }
+
+    #[test]
+    fn unknown_ref_is_a_typed_turn_error() {
+        let mut engine: StoreEngine = StoreEngine::new(
+            EngineConfig::tiny(),
+            Box::new(FixedRatePolicy::new(1_000_000)),
+        );
+        let mut objects = SessionObjects::new();
+        let mut sess = engine.session(SessionId::new(0));
+        let err = apply_ops(
+            &mut sess,
+            &mut objects,
+            &[SessionOp::Access { obj: ObjRef(5) }],
+        )
+        .unwrap_err();
+        assert_eq!(err.op_index, 0);
+        assert!(matches!(
+            err.kind,
+            TurnErrorKind::UnknownRef { obj: 5, created: 0 }
+        ));
+        assert!(err.to_string().contains("unknown object ref 5"));
     }
 }

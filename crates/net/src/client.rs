@@ -1,0 +1,217 @@
+//! The client side: a strict request/response connection wrapper and a
+//! seeded load driver.
+//!
+//! [`Conn`] is the protocol primitive — send one [`Request`], read one
+//! [`Response`] — used directly by tests that need to exercise the
+//! window machinery (send turns without acknowledging them to force
+//! `Busy`). [`run_client`] is the well-behaved driver on top: it runs a
+//! [`SessionWorkload`] — the *same* generator the in-process serve mode
+//! schedules — over the wire, acknowledging every applied turn, so a
+//! loopback run and an in-process run with the same seeds produce
+//! identical per-shard operation streams.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use odbgc_engine::{SessionWorkload, WorkloadParams};
+
+use crate::proto::{read_frame, write_frame, ErrorCode, ProtoError, Request, Response};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket or framing failure.
+    Proto(ProtoError),
+    /// The server answered with a typed error.
+    Server {
+        /// Failure class.
+        code: ErrorCode,
+        /// Server-side detail.
+        message: String,
+    },
+    /// The server answered with the wrong response kind for the request.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => write!(f, "server [{code}]: {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// One connection to a serve front-end, strict request/response.
+pub struct Conn {
+    stream: TcpStream,
+}
+
+impl Conn {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7491"`).
+    pub fn connect(addr: &str) -> Result<Conn, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn { stream })
+    }
+
+    /// Sets how long a response read may block before erroring out.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads its response. Any [`Response::Error`]
+    /// is lifted into [`ClientError::Server`].
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let body = read_frame(&mut self.stream)?;
+        match Response::decode(&body)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Like [`Conn::request`], but hands back `Error` responses as data
+    /// (for tests asserting on specific refusals).
+    pub fn request_raw(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let body = read_frame(&mut self.stream)?;
+        Ok(Response::decode(&body)?)
+    }
+}
+
+/// Configuration of one [`run_client`] load run.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address.
+    pub addr: String,
+    /// The session this client drives (fixes its shard server-side).
+    pub session: u32,
+    /// Total operations to submit.
+    pub ops: u64,
+    /// Operations per turn (clamped to ≥ 2 like the in-process serve
+    /// path, so composite actions stay atomic).
+    pub batch: u64,
+    /// In-flight window to request in Hello.
+    pub window: u32,
+    /// Workload parameters (must match the server-side comparison run
+    /// for telemetry equivalence).
+    pub workload: WorkloadParams,
+    /// After finishing the workload, request a graceful server drain.
+    pub shutdown_after: bool,
+}
+
+/// What a [`run_client`] run did, measured client-side.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Turns acknowledged by the server.
+    pub turns: u64,
+    /// Operations acknowledged.
+    pub ops_applied: u64,
+    /// Objects created.
+    pub created: u64,
+    /// Garbage bytes this client's overwrites/unroots produced.
+    pub garbage_created: u64,
+    /// `Busy` rejections encountered (0 for this well-behaved driver
+    /// unless the server shrank the window below the pipeline depth).
+    pub busy: u64,
+    /// Total nanoseconds the server reported this client's turns spent
+    /// stalled behind collections.
+    pub gc_stall_ns: u64,
+    /// The window the server actually granted.
+    pub granted_window: u32,
+}
+
+/// Runs a seeded workload over the wire: Hello, then one `Ops` request
+/// per generated turn — acknowledging each applied turn — then `Bye`
+/// (optionally preceded by a graceful `Shutdown` request).
+///
+/// The op stream is `SessionWorkload::new(session, workload, ops)`
+/// driven at `batch`, which is exactly what the in-process serve mode
+/// schedules for the same session — the fidelity tests lean on this.
+pub fn run_client(config: &ClientConfig) -> Result<ClientReport, ClientError> {
+    let mut conn = Conn::connect(&config.addr)?;
+    let mut report = ClientReport::default();
+    let granted = match conn.request(&Request::Hello {
+        session: config.session,
+        window: config.window.max(1),
+    })? {
+        Response::HelloOk { window, .. } => window,
+        _ => return Err(ClientError::Unexpected("want HelloOk")),
+    };
+    report.granted_window = granted;
+
+    let batch = config.batch.max(2);
+    let mut workload = SessionWorkload::new(config.session, config.workload, config.ops);
+    loop {
+        let turn = workload.next_turn(batch);
+        if turn.is_empty() {
+            break;
+        }
+        loop {
+            match conn.request(&Request::Ops { ops: turn.clone() })? {
+                Response::OpsOk {
+                    applied,
+                    created,
+                    garbage_created,
+                    gc_stall_ns,
+                    ..
+                } => {
+                    report.turns += 1;
+                    report.ops_applied += applied;
+                    report.created += created;
+                    report.garbage_created += garbage_created;
+                    report.gc_stall_ns += gc_stall_ns;
+                    // Return the credit immediately: this driver keeps
+                    // at most one turn in flight.
+                    match conn.request(&Request::Ack { n: 1 })? {
+                        Response::AckOk { .. } => {}
+                        _ => return Err(ClientError::Unexpected("want AckOk")),
+                    }
+                    break;
+                }
+                Response::Busy { in_flight, .. } => {
+                    // Shouldn't happen at depth 1, but recover anyway:
+                    // return every credit and retry the same turn (it
+                    // was not applied).
+                    report.busy += 1;
+                    match conn.request(&Request::Ack { n: in_flight })? {
+                        Response::AckOk { .. } => {}
+                        _ => return Err(ClientError::Unexpected("want AckOk")),
+                    }
+                }
+                _ => return Err(ClientError::Unexpected("want OpsOk or Busy")),
+            }
+        }
+    }
+
+    if config.shutdown_after {
+        match conn.request(&Request::Shutdown)? {
+            Response::ShutdownOk => {}
+            _ => return Err(ClientError::Unexpected("want ShutdownOk")),
+        }
+        // Shutdown closes the connection server-side; no Bye.
+        return Ok(report);
+    }
+    match conn.request(&Request::Bye)? {
+        Response::ByeOk => {}
+        _ => return Err(ClientError::Unexpected("want ByeOk")),
+    }
+    Ok(report)
+}

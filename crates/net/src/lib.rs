@@ -1,0 +1,33 @@
+//! Network serve front-end for the odbgc engine.
+//!
+//! A thin socket layer that multiplexes client connections onto the
+//! engine's sharded serve substrate ([`odbgc_engine::ShardSet`]):
+//!
+//! * [`proto`] — the framed wire protocol: `[len][body][crc32]` frames
+//!   (OTBF's length-prefix + CRC conventions), varint-encoded session
+//!   ops addressed by per-session creation index, and admin ops
+//!   (stats, collect, graceful shutdown).
+//! * [`server`] — [`NetServer`]: thread-per-connection dispatch onto the
+//!   shard set, credit-based per-client in-flight windows with explicit
+//!   `Busy` backpressure, idle-connection reaping, and graceful drain
+//!   that loses zero acknowledged operations.
+//! * [`client`] — [`Conn`] (strict request/response primitive) and
+//!   [`run_client`] (seeded load driver running the same
+//!   `SessionWorkload` the in-process serve mode schedules, so loopback
+//!   and in-process runs are telemetry-identical for the same seeds).
+//!
+//! Everything engine-level (what a turn *does*) lives in
+//! `odbgc-engine`; this crate only moves turns across a socket and
+//! accounts for them.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{run_client, ClientConfig, ClientError, ClientReport, Conn};
+pub use proto::{
+    ClientCounters, ErrorCode, ProtoError, Request, Response, ShardStats, StatsSnapshot,
+};
+pub use server::{BindError, NetConfig, NetOutcome, NetServer};

@@ -1,0 +1,448 @@
+//! The serve front-end: a TCP listener multiplexing client connections
+//! onto a [`ShardSet`].
+//!
+//! One handler thread per connection; the connection's session id (from
+//! its Hello) fixes the shard it drives, and the shard's own mutex
+//! serializes turns against it — the server adds no global lock on the
+//! op path, so connections on different shards proceed in parallel
+//! exactly as the in-process scheduler's sessions do.
+//!
+//! Three lifecycle guarantees, each mirrored by a test:
+//!
+//! * **Backpressure is explicit and deterministic.** Every applied turn
+//!   consumes one window credit; credits return only on `Ack`. A turn
+//!   arriving with no credit left gets a `Busy` response and is *not*
+//!   applied — whether that happens depends only on the frame sequence
+//!   the client sent, never on server timing.
+//! * **Idle connections are reaped.** A connection that sends nothing
+//!   for `idle_timeout` is closed (counted as an unclean close); a
+//!   stalled client cannot pin the server open.
+//! * **Drain is graceful.** `Shutdown` stops the accept loop and new
+//!   turns, but every turn already applied has already been
+//!   acknowledged (apply and ack are one synchronous step), so a drain
+//!   loses zero acknowledged operations. Handler threads are joined,
+//!   shard telemetry is flushed into the outcome, and only then does
+//!   [`NetServer::run`] return.
+
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use odbgc_core::RatePolicy;
+use odbgc_engine::{
+    apply_ops, EngineConfig, GcFault, ServeError, SessionId, SessionObjects, ShardOutcome, ShardSet,
+};
+
+use crate::proto::{
+    read_frame, write_frame, ClientCounters, ErrorCode, ProtoError, Request, Response, ShardStats,
+    StatsSnapshot, FRAME_OVERHEAD,
+};
+
+/// Configuration of a network serve instance.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Per-shard engine configuration.
+    pub engine: EngineConfig,
+    /// Number of engine shards; session `s` maps to shard `s % shards`.
+    pub shards: u32,
+    /// Hard cap on the per-connection in-flight window a Hello may
+    /// request.
+    pub window_max: u32,
+    /// Close a connection after this much silence.
+    pub idle_timeout: Duration,
+    /// Read-timeout tick: how often blocked reads wake to check the
+    /// drain flag and the idle clock.
+    pub poll_interval: Duration,
+    /// Optional kill-one-GC-worker fault injection (robustness tests).
+    pub gc_fault: Option<GcFault>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            engine: EngineConfig::default(),
+            shards: 2,
+            window_max: 64,
+            idle_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(25),
+            gc_fault: None,
+        }
+    }
+}
+
+/// What a network serve run did, returned by [`NetServer::run`] after a
+/// graceful drain.
+#[derive(Debug)]
+pub struct NetOutcome {
+    /// Per-shard summaries — the same [`ShardOutcome`] the in-process
+    /// serve mode produces, so telemetry built from either is
+    /// comparable key for key.
+    pub shards: Vec<ShardOutcome>,
+    /// Per-connection counters, in accept order.
+    pub clients: Vec<ClientCounters>,
+}
+
+struct Shared {
+    // Handlers hold `read` while serving; `run` takes the set out under
+    // `write` after every handler has been joined.
+    set: RwLock<Option<ShardSet>>,
+    shard_count: u32,
+    window_max: u32,
+    idle_timeout: Duration,
+    poll_interval: Duration,
+    draining: AtomicBool,
+    clients: Mutex<Vec<ClientCounters>>,
+}
+
+/// A bound, not-yet-serving network front-end.
+pub struct NetServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl NetServer {
+    /// Builds the shard set and binds the listener. `addr` is anything
+    /// `TcpListener::bind` accepts; `"127.0.0.1:0"` picks a free port
+    /// (read it back with [`NetServer::local_addr`]).
+    pub fn bind(
+        addr: &str,
+        config: NetConfig,
+        make_policy: impl FnMut(u32) -> Box<dyn RatePolicy + Send>,
+    ) -> Result<NetServer, BindError> {
+        let shard_count = config.shards.max(1);
+        let set = ShardSet::new(
+            &config.engine,
+            shard_count as usize,
+            make_policy,
+            config.gc_fault,
+        )
+        .map_err(BindError::Shards)?;
+        let listener = TcpListener::bind(addr).map_err(BindError::Io)?;
+        listener.set_nonblocking(true).map_err(BindError::Io)?;
+        Ok(NetServer {
+            listener,
+            shared: Arc::new(Shared {
+                set: RwLock::new(Some(set)),
+                shard_count,
+                window_max: config.window_max.max(1),
+                idle_timeout: config.idle_timeout,
+                poll_interval: config.poll_interval.max(Duration::from_millis(1)),
+                draining: AtomicBool::new(false),
+                clients: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a client requests a graceful drain, then joins every
+    /// handler, shuts the shards down, and returns the outcome.
+    pub fn run(self) -> NetOutcome {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.draining.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    let shared = Arc::clone(&self.shared);
+                    // Thread-per-connection: the kernel queues frames,
+                    // the shard mutex orders turns; spawn failures are
+                    // a refused connection, not a server death.
+                    if let Ok(h) = std::thread::Builder::new()
+                        .name("odbgc-net-conn".into())
+                        .spawn(move || handle_connection(stream, &shared))
+                    {
+                        handlers.push(h);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(self.shared.poll_interval);
+                }
+                Err(_) => std::thread::sleep(self.shared.poll_interval),
+            }
+        }
+        // Drain: no new connections; handlers notice the flag on their
+        // next read tick (or finish their current request) and exit.
+        for h in handlers {
+            let _ = h.join();
+        }
+        let set = self
+            .shared
+            .set
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        let shards = match set {
+            Some(set) => set.shutdown(),
+            None => Vec::new(),
+        };
+        let clients = std::mem::take(
+            &mut *self
+                .shared
+                .clients
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        NetOutcome { shards, clients }
+    }
+}
+
+/// Why [`NetServer::bind`] failed.
+#[derive(Debug)]
+pub enum BindError {
+    /// The listener could not bind.
+    Io(std::io::Error),
+    /// A shard's GC worker could not be spawned.
+    Shards(ServeError),
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::Io(e) => write!(f, "bind: {e}"),
+            BindError::Shards(e) => write!(f, "shard setup: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Per-connection session state.
+struct ConnState {
+    session: Option<u32>,
+    shard: u32,
+    window: u64,
+    in_flight: u64,
+    objects: SessionObjects,
+    counters: ClientCounters,
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    // The read timeout doubles as the idle/drain tick.
+    let _ = stream.set_read_timeout(Some(shared.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let mut state = ConnState {
+        session: None,
+        shard: 0,
+        window: 1,
+        in_flight: 0,
+        objects: SessionObjects::new(),
+        counters: ClientCounters {
+            session: u32::MAX,
+            ..ClientCounters::default()
+        },
+    };
+    let mut idle = Duration::ZERO;
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(body) => body,
+            Err(ProtoError::Io(e))
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    // Drain: the client has nothing in flight at the
+                    // protocol level (every applied turn was already
+                    // acknowledged); close out.
+                    state.counters.clean_close = true;
+                    break;
+                }
+                idle += shared.poll_interval;
+                if idle >= shared.idle_timeout {
+                    // Reaped: unclean close, counters still recorded.
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break, // EOF, reset, or a corrupt frame: close.
+        };
+        idle = Duration::ZERO;
+        state.counters.bytes_in += body.len() as u64 + FRAME_OVERHEAD;
+        let (resp, close) = match Request::decode(&body) {
+            Ok(req) => respond(shared, &mut state, req),
+            Err(e) => (
+                Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                },
+                true,
+            ),
+        };
+        let resp_body = resp.encode();
+        state.counters.bytes_out += resp_body.len() as u64 + FRAME_OVERHEAD;
+        if write_frame(&mut stream, &resp_body).is_err() {
+            break;
+        }
+        if close {
+            break;
+        }
+    }
+    shared
+        .clients
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(state.counters);
+}
+
+/// Handles one request; returns the response and whether to close the
+/// connection afterwards.
+fn respond(shared: &Shared, state: &mut ConnState, req: Request) -> (Response, bool) {
+    match req {
+        Request::Hello { session, window } => {
+            let window = window.clamp(1, shared.window_max);
+            state.session = Some(session);
+            state.shard = session % shared.shard_count;
+            state.window = window as u64;
+            state.counters.session = session;
+            (
+                Response::HelloOk {
+                    session,
+                    shard: state.shard,
+                    window,
+                },
+                false,
+            )
+        }
+        Request::Ops { ops } => (apply_turn(shared, state, &ops), false),
+        Request::Ack { n } => {
+            state.in_flight = state.in_flight.saturating_sub(n);
+            (
+                Response::AckOk {
+                    in_flight: state.in_flight,
+                },
+                false,
+            )
+        }
+        Request::Stats => (stats(shared), false),
+        Request::Collect => (collect(shared), false),
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            state.counters.clean_close = true;
+            (Response::ShutdownOk, true)
+        }
+        Request::Bye => {
+            state.counters.clean_close = true;
+            (Response::ByeOk, true)
+        }
+    }
+}
+
+fn apply_turn(shared: &Shared, state: &mut ConnState, ops: &[odbgc_engine::SessionOp]) -> Response {
+    let Some(session) = state.session else {
+        return Response::Error {
+            code: ErrorCode::Protocol,
+            message: "Ops before Hello".into(),
+        };
+    };
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::Error {
+            code: ErrorCode::Draining,
+            message: "server is draining; no new turns".into(),
+        };
+    }
+    if state.in_flight >= state.window {
+        state.counters.busy_rejections += 1;
+        return Response::Busy {
+            in_flight: state.in_flight,
+            window: state.window,
+        };
+    }
+    let guard = shared
+        .set
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let Some(set) = guard.as_ref() else {
+        return Response::Error {
+            code: ErrorCode::Draining,
+            message: "server is shut down".into(),
+        };
+    };
+    let mut turn = match set.checkout(state.shard as usize) {
+        Ok(turn) => turn,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::ShardFailed,
+                message: e.to_string(),
+            };
+        }
+    };
+    let gc_stall_ns = turn.gc_stall.as_nanos() as u64;
+    let mut sess = turn.session(SessionId::new(session));
+    match apply_ops(&mut sess, &mut state.objects, ops) {
+        Ok(applied) => {
+            turn.finish();
+            state.in_flight += 1;
+            state.counters.turns += 1;
+            state.counters.ops += applied.applied;
+            state.counters.gc_stall_ns += gc_stall_ns;
+            Response::OpsOk {
+                applied: applied.applied,
+                created: applied.created,
+                garbage_created: applied.garbage_created,
+                in_flight: state.in_flight,
+                gc_stall_ns,
+            }
+        }
+        Err(e) => {
+            // The failing turn was partially applied (ops before the
+            // error landed); still hand the shard back so its GC can
+            // proceed for other connections.
+            turn.finish();
+            Response::Error {
+                code: match e.kind {
+                    odbgc_engine::TurnErrorKind::Op(_) => ErrorCode::Op,
+                    odbgc_engine::TurnErrorKind::UnknownRef { .. } => ErrorCode::Protocol,
+                },
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
+fn stats(shared: &Shared) -> Response {
+    let guard = shared
+        .set
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let shards = match guard.as_ref() {
+        Some(set) => set
+            .status()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| ShardStats {
+                shard: i as u32,
+                collections: s.collections,
+                failed: s.failed,
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    let clients = shared
+        .clients
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    Response::StatsOk(StatsSnapshot { shards, clients })
+}
+
+fn collect(shared: &Shared) -> Response {
+    let guard = shared
+        .set
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let Some(set) = guard.as_ref() else {
+        return Response::CollectOk { kicked: 0 };
+    };
+    let mut kicked = 0u64;
+    for shard in 0..set.shard_count() {
+        // A failed shard just doesn't collect; Collect is best-effort.
+        if let Ok(turn) = set.checkout(shard) {
+            if turn.finish() {
+                kicked += 1;
+            }
+        }
+    }
+    Response::CollectOk { kicked }
+}

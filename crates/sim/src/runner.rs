@@ -438,25 +438,18 @@ impl PlanOutcome {
     }
 }
 
-/// Parses an `ODBGC_JOBS`-style value; `None` means "not a usable worker
-/// count" (empty, non-numeric, or zero).
-fn parse_jobs(value: &str) -> Option<usize> {
-    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
-}
-
 /// The worker count used when none is given explicitly: the `ODBGC_JOBS`
 /// environment variable if set and positive, otherwise
 /// [`std::thread::available_parallelism`]. An `ODBGC_JOBS` value that is
 /// not a positive integer is ignored with a one-line stderr warning
-/// rather than silently.
+/// rather than silently — the same message shape
+/// [`odbgc_engine::config::default_gc_workers`] uses for
+/// `ODBGC_GC_WORKERS`.
 pub fn default_jobs() -> usize {
     if let Ok(v) = std::env::var("ODBGC_JOBS") {
-        match parse_jobs(&v) {
-            Some(n) => return n,
-            None => eprintln!(
-                "odbgc: ignoring invalid ODBGC_JOBS={v:?} (want a positive \
-                 integer); falling back to available parallelism"
-            ),
+        match odbgc_core::parse_worker_env("ODBGC_JOBS", &v, "using all available cores") {
+            Ok(n) => return n,
+            Err(warning) => eprintln!("{warning}"),
         }
     }
     thread::available_parallelism()
@@ -982,13 +975,21 @@ mod tests {
     }
 
     #[test]
-    fn parse_jobs_accepts_positive_integers_only() {
-        assert_eq!(parse_jobs("4"), Some(4));
-        assert_eq!(parse_jobs(" 2 "), Some(2));
-        assert_eq!(parse_jobs("0"), None);
-        assert_eq!(parse_jobs("-1"), None);
-        assert_eq!(parse_jobs("abc"), None);
-        assert_eq!(parse_jobs(""), None);
+    fn jobs_env_values_parse_like_gc_workers_values() {
+        // The shared helper accepts positive integers only, and its
+        // warning line has the exact shape the GC-workers reader uses.
+        let parse = |v| odbgc_core::parse_worker_env("ODBGC_JOBS", v, "using all available cores");
+        assert_eq!(parse("4"), Ok(4));
+        assert_eq!(parse(" 2 "), Ok(2));
+        for bad in ["0", "-1", "abc", ""] {
+            assert_eq!(
+                parse(bad).unwrap_err(),
+                format!(
+                    "odbgc: ignoring invalid ODBGC_JOBS={bad:?} \
+                     (want a positive integer); using all available cores"
+                )
+            );
+        }
     }
 
     #[test]

@@ -147,18 +147,23 @@ impl Json {
     }
 
     /// A copy with every nondeterministic field removed: object entries
-    /// whose key is `timing`, starts with `wall_`, or starts with
-    /// `sched_` (GC-scheduler execution records, which vary with the
-    /// collector worker count) are dropped, recursively. Two documents
-    /// describing the same deterministic outcome compare equal after
-    /// stripping, regardless of worker count or machine speed.
+    /// whose key is `timing`, starts with `wall_`, starts with `sched_`
+    /// (GC-scheduler execution records, which vary with the collector
+    /// worker count), or starts with `net_` (network serve-mode
+    /// per-client counters — byte and stall totals depend on connection
+    /// timing) are dropped, recursively. Two documents describing the
+    /// same deterministic outcome compare equal after stripping,
+    /// regardless of worker count, machine speed, or transport.
     pub fn strip_volatile(&self) -> Json {
         match self {
             Json::Obj(fields) => Json::Obj(
                 fields
                     .iter()
                     .filter(|(k, _)| {
-                        k != "timing" && !k.starts_with("wall_") && !k.starts_with("sched_")
+                        k != "timing"
+                            && !k.starts_with("wall_")
+                            && !k.starts_with("sched_")
+                            && !k.starts_with("net_")
                     })
                     .map(|(k, v)| (k.clone(), v.strip_volatile()))
                     .collect(),
@@ -1007,6 +1012,7 @@ mod tests {
                     ("x".into(), Json::u64(2)),
                     ("wall_ms".into(), Json::Arr(vec![Json::u64(9)])),
                     ("sched_stats".into(), Json::Arr(vec![Json::u64(7)])),
+                    ("net_clients".into(), Json::Arr(vec![Json::u64(5)])),
                 ])]),
             ),
             (

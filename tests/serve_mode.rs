@@ -68,6 +68,7 @@ fn audited_config(sessions: u32, shards: u32, scheduler_seed: u64) -> ServeConfi
         batch: 8,
         scheduler_seed,
         workload: WorkloadParams::default(),
+        gc_fault: None,
     }
 }
 

@@ -1,0 +1,323 @@
+//! Acceptance tests for the network serve front-end (ISSUE 9).
+//!
+//! Three guarantees pin the socket layer to the in-process serve mode:
+//!
+//! 1. **Fidelity** — a loopback run (one client per shard, the same
+//!    seeded workload) produces per-shard results *equal* to the
+//!    in-process scheduler's, and per-shard telemetry *byte-identical*
+//!    after `strip_volatile`. The wire adds accounting, never behavior.
+//! 2. **Backpressure is deterministic** — with an in-flight window of 1,
+//!    a second unacknowledged turn is refused with `Busy` (and counted),
+//!    applied only after an explicit `Ack`; whether a turn is refused
+//!    depends only on the frame sequence, never on timing.
+//! 3. **Failure is typed end to end** — killing one shard's GC worker
+//!    surfaces as a `ShardFailed` protocol error on that shard's
+//!    connection while the other shard's client completes every
+//!    operation, and a graceful drain loses zero acknowledged ops.
+
+use std::time::Duration;
+
+use odbgc_core::FixedRatePolicy;
+use odbgc_engine::{
+    serve, EngineConfig, GcFault, ServeConfig, SessionOp, SessionWorkload, WorkloadParams,
+};
+use odbgc_net::{
+    run_client, ClientConfig, ClientError, Conn, ErrorCode, NetConfig, NetOutcome, NetServer,
+    Request, Response,
+};
+use odbgc_sim::RunTelemetry;
+
+const OPS: u64 = 400;
+const BATCH: u64 = 8;
+
+fn net_config(shards: u32) -> NetConfig {
+    NetConfig {
+        engine: EngineConfig::tiny(),
+        shards,
+        // Short idle timeout so a hung test fails fast, long enough to
+        // never fire during normal turns.
+        idle_timeout: Duration::from_secs(10),
+        poll_interval: Duration::from_millis(5),
+        ..NetConfig::default()
+    }
+}
+
+/// Binds a server on an ephemeral loopback port and runs it on a
+/// background thread; returns the address and the outcome handle.
+fn spawn_server(config: NetConfig) -> (String, std::thread::JoinHandle<NetOutcome>) {
+    let server = NetServer::bind("127.0.0.1:0", config, |_| {
+        Box::new(FixedRatePolicy::new(20))
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn client_config(addr: &str, session: u32) -> ClientConfig {
+    ClientConfig {
+        addr: addr.to_owned(),
+        session,
+        ops: OPS,
+        batch: BATCH,
+        window: 4,
+        workload: WorkloadParams::default(),
+        shutdown_after: false,
+    }
+}
+
+fn shutdown(addr: &str) {
+    let mut admin = Conn::connect(addr).expect("admin connect");
+    match admin.request(&Request::Shutdown).expect("shutdown") {
+        Response::ShutdownOk => {}
+        other => panic!("want ShutdownOk, got {other:?}"),
+    }
+}
+
+/// (1) Fidelity: loopback vs in-process, same seeds, one client per
+/// shard. Shard results equal; shard telemetry byte-identical after
+/// stripping volatile keys.
+#[test]
+fn loopback_telemetry_matches_in_process_serve() {
+    // In-process reference: 2 sessions on 2 shards — each shard's op
+    // stream is exactly its one session's stream, independent of the
+    // scheduler seed.
+    let reference = serve(
+        ServeConfig {
+            engine: EngineConfig::tiny(),
+            sessions: 2,
+            shards: 2,
+            ops_per_session: OPS,
+            batch: BATCH,
+            scheduler_seed: 42,
+            workload: WorkloadParams::default(),
+            gc_fault: None,
+        },
+        |_| Box::new(FixedRatePolicy::new(20)),
+    )
+    .expect("in-process serve");
+    assert!(reference.failures.is_empty());
+
+    // Loopback: one client per shard driving the same generator.
+    let (addr, server) = spawn_server(net_config(2));
+    let clients: Vec<_> = (0..2u32)
+        .map(|session| {
+            let config = client_config(&addr, session);
+            std::thread::spawn(move || run_client(&config).expect("client"))
+        })
+        .collect();
+    let reports: Vec<_> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+    shutdown(&addr);
+    let outcome = server.join().unwrap();
+
+    for (session, report) in reports.iter().enumerate() {
+        assert_eq!(
+            report.ops_applied, OPS,
+            "client {session} must complete its whole budget, exactly"
+        );
+        assert_eq!(report.busy, 0, "well-behaved driver never sees Busy");
+    }
+    assert_eq!(outcome.shards.len(), 2);
+    for (i, (net, inproc)) in outcome.shards.iter().zip(&reference.shards).enumerate() {
+        assert_eq!(
+            net.result, inproc.result,
+            "shard {i}: loopback result diverged from in-process serve"
+        );
+        let telemetry = |policy: &str, decisions: &[odbgc_engine::DecisionRecord]| {
+            RunTelemetry::from_decisions(policy.to_owned(), decisions.to_vec())
+                .to_json()
+                .strip_volatile()
+                .to_string_pretty()
+        };
+        assert_eq!(
+            telemetry(&net.policy, &net.decisions),
+            telemetry(&inproc.policy, &inproc.decisions),
+            "shard {i}: loopback telemetry diverged byte-wise"
+        );
+    }
+    // Every connection (2 clients + 1 admin) closed cleanly and was
+    // accounted.
+    assert_eq!(outcome.clients.len(), 3);
+    assert!(outcome.clients.iter().all(|c| c.clean_close));
+    let total_ops: u64 = outcome.clients.iter().map(|c| c.ops).sum();
+    assert_eq!(total_ops, 2 * OPS);
+}
+
+/// (2) Backpressure: at window 1, the second unacknowledged turn is
+/// refused deterministically, counted, and applied after an Ack.
+#[test]
+fn window_of_one_rejects_unacked_turns() {
+    let (addr, server) = spawn_server(net_config(1));
+    let mut conn = Conn::connect(&addr).expect("connect");
+    match conn
+        .request(&Request::Hello {
+            session: 0,
+            window: 1,
+        })
+        .expect("hello")
+    {
+        Response::HelloOk { window: 1, .. } => {}
+        other => panic!("want window 1 granted, got {other:?}"),
+    }
+
+    // Generate real turns so the refused turn is a turn the server
+    // could have applied.
+    let mut workload = SessionWorkload::new(0, WorkloadParams::default(), 64);
+    let first = workload.next_turn(BATCH);
+    let second = workload.next_turn(BATCH);
+
+    match conn.request(&Request::Ops { ops: first }).expect("turn 1") {
+        Response::OpsOk { in_flight: 1, .. } => {}
+        other => panic!("want OpsOk in_flight=1, got {other:?}"),
+    }
+    // No Ack: the window is full, so the next turn must bounce.
+    let refused = conn
+        .request(&Request::Ops {
+            ops: second.clone(),
+        })
+        .expect("turn 2 (refused)");
+    match refused {
+        Response::Busy {
+            in_flight: 1,
+            window: 1,
+        } => {}
+        other => panic!("want Busy at window 1, got {other:?}"),
+    }
+    // Return the credit; the same turn now applies.
+    match conn.request(&Request::Ack { n: 1 }).expect("ack") {
+        Response::AckOk { in_flight: 0 } => {}
+        other => panic!("want AckOk in_flight=0, got {other:?}"),
+    }
+    match conn.request(&Request::Ops { ops: second }).expect("turn 2") {
+        Response::OpsOk { in_flight: 1, .. } => {}
+        other => panic!("want OpsOk after ack, got {other:?}"),
+    }
+    match conn.request(&Request::Bye).expect("bye") {
+        Response::ByeOk => {}
+        other => panic!("want ByeOk, got {other:?}"),
+    }
+
+    // The rejection is visible in the server's per-client counters.
+    let mut admin = Conn::connect(&addr).expect("admin");
+    let snap = match admin.request(&Request::Stats).expect("stats") {
+        Response::StatsOk(snap) => snap,
+        other => panic!("want StatsOk, got {other:?}"),
+    };
+    let c = snap
+        .clients
+        .iter()
+        .find(|c| c.session == 0)
+        .expect("closed client counters");
+    assert_eq!(c.busy_rejections, 1, "exactly one queue-full rejection");
+    assert_eq!(c.turns, 2, "both turns eventually applied");
+    assert!(c.clean_close);
+    match admin.request(&Request::Shutdown).expect("shutdown") {
+        Response::ShutdownOk => {}
+        other => panic!("want ShutdownOk, got {other:?}"),
+    }
+    let outcome = server.join().unwrap();
+    assert_eq!(
+        outcome
+            .clients
+            .iter()
+            .map(|c| c.busy_rejections)
+            .sum::<u64>(),
+        1
+    );
+}
+
+/// (3a) Typed shard failure over the wire: shard 0's GC worker dies on
+/// its first collection; its client gets `ShardFailed` (not a hang, not
+/// a dropped connection), while shard 1's client completes everything.
+#[test]
+fn gc_worker_death_is_a_typed_wire_error_and_other_shard_drains() {
+    let mut config = net_config(2);
+    config.gc_fault = Some(GcFault {
+        shard: 0,
+        after_collections: 0,
+    });
+    let (addr, server) = spawn_server(config);
+
+    // Session 1 → shard 1: unaffected, must finish its whole budget.
+    let healthy = {
+        let config = client_config(&addr, 1);
+        std::thread::spawn(move || run_client(&config).expect("healthy client"))
+    };
+    // Session 0 → shard 0: drive turns until the fault surfaces.
+    let faulted = run_client(&client_config(&addr, 0));
+    let err = faulted.expect_err("shard 0 client must hit the fault");
+    match err {
+        ClientError::Server { code, message } => {
+            assert_eq!(code, ErrorCode::ShardFailed);
+            assert!(message.contains("injected GC worker fault"), "{message}");
+        }
+        other => panic!("want a typed server error, got {other}"),
+    }
+
+    let healthy_report = healthy.join().unwrap();
+    assert_eq!(healthy_report.ops_applied, OPS);
+    shutdown(&addr);
+    let outcome = server.join().unwrap();
+    assert!(
+        outcome.shards[0]
+            .failed
+            .as_deref()
+            .is_some_and(|m| m.contains("injected")),
+        "shard 0 outcome records the panic payload"
+    );
+    assert!(outcome.shards[1].failed.is_none());
+}
+
+/// (3b) Graceful drain: after shutdown, every acknowledged op is in the
+/// shard results — the drain loses nothing — and new turns are refused
+/// with a `Draining` error rather than silently dropped.
+#[test]
+fn drain_keeps_every_acknowledged_op_and_refuses_new_turns() {
+    let (addr, server) = spawn_server(net_config(2));
+    let reports: Vec<_> = (0..2u32)
+        .map(|session| {
+            let config = client_config(&addr, session);
+            std::thread::spawn(move || run_client(&config).expect("client"))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+    let acked: u64 = reports.iter().map(|r| r.ops_applied).sum();
+    assert_eq!(acked, 2 * OPS, "budgets complete exactly, no overshoot");
+
+    // Open a connection, then shut down through another: the first must
+    // be refused with Draining, not hung or dropped mid-protocol.
+    let mut late = Conn::connect(&addr).expect("late client");
+    match late
+        .request(&Request::Hello {
+            session: 0,
+            window: 1,
+        })
+        .expect("hello")
+    {
+        Response::HelloOk { .. } => {}
+        other => panic!("want HelloOk, got {other:?}"),
+    }
+    shutdown(&addr);
+    let refused = late.request_raw(&Request::Ops {
+        ops: vec![SessionOp::Create { size: 64, slots: 0 }],
+    });
+    match refused {
+        Ok(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Draining),
+        // The server may already have closed the socket; that is also a
+        // refusal, not a silent drop.
+        Err(ClientError::Proto(_)) => {}
+        other => panic!("want Draining or closed socket, got {other:?}"),
+    }
+
+    let outcome = server.join().unwrap();
+    let applied: u64 = outcome
+        .shards
+        .iter()
+        .map(|s| s.result.events_replayed)
+        .sum();
+    assert_eq!(
+        applied, acked,
+        "every acknowledged op survived the drain, and nothing else"
+    );
+}

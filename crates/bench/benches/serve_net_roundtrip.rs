@@ -83,6 +83,24 @@ fn bench_serve_net(c: &mut Criterion) {
             black_box(Request::decode(&body).expect("decode"))
         })
     });
+
+    c.bench_function("serve_net_roundtrip/frame_encode_decode_turn_reused", |b| {
+        // The same turn through the buffer-reusing entry points
+        // (encode_into + frame_into into persistent scratch): the
+        // steady-state per-frame cost with no allocation.
+        let mut workload =
+            odbgc_sim::engine::SessionWorkload::new(0, WorkloadParams::default(), OPS);
+        let turn = workload.next_turn(BATCH);
+        let req = Request::Ops { ops: turn };
+        let mut body = Vec::new();
+        let mut wire = Vec::new();
+        b.iter(|| {
+            black_box(&req).encode_into(&mut body);
+            wire.clear();
+            odbgc_net::frame_into(&mut wire, &body);
+            black_box(Request::decode(&body).expect("decode"))
+        })
+    });
 }
 
 criterion_group!(benches, bench_serve_net);

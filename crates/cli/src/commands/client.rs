@@ -3,11 +3,15 @@
 //!
 //! Runs the same `SessionWorkload` the in-process serve mode schedules,
 //! one turn per `Ops` frame, acknowledging each applied turn. With
+//! `--connections N` one process drives N sessions round-robin
+//! (sessions `--session` through `--session + N - 1`, each running
+//! `--ops` operations) and reports the aggregate — the cheap way to put
+//! an event-loop server under high connection counts. With
 //! `--shutdown true` the client requests a graceful server drain after
 //! finishing its workload — the usual way a multi-client script ends a
 //! serve run.
 
-use odbgc_net::{run_client, ClientConfig};
+use odbgc_net::{run_client, run_clients, ClientConfig};
 use odbgc_sim::engine::WorkloadParams;
 
 use crate::flags::Flags;
@@ -22,14 +26,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let batch: u64 = flags.get_or("batch", 8)?;
     let window: u32 = flags.get_or("window", 4)?;
     let seed: u64 = flags.get_or("seed", WorkloadParams::default().seed)?;
+    let connections: u32 = flags.get_or("connections", 1)?;
     let shutdown_after: bool = flags.get_or("shutdown", false)?;
     flags.finish()?;
 
     if window == 0 {
         return Err(CliError("--window must be at least 1".into()));
     }
+    if connections == 0 {
+        return Err(CliError("--connections must be at least 1".into()));
+    }
 
-    let report = run_client(&ClientConfig {
+    let config = ClientConfig {
         addr: addr.clone(),
         session,
         ops,
@@ -40,11 +48,26 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             ..WorkloadParams::default()
         },
         shutdown_after,
-    })
-    .map_err(|e| CliError(format!("client: {e}")))?;
+    };
+
+    let (header, report) = if connections == 1 {
+        let report = run_client(&config).map_err(|e| CliError(format!("client: {e}")))?;
+        (format!("client: session {session} against {addr}"), report)
+    } else {
+        let multi =
+            run_clients(&config, connections).map_err(|e| CliError(format!("client: {e}")))?;
+        let last_session = session.wrapping_add(connections - 1);
+        (
+            format!(
+                "client: {connections} connection(s), sessions \
+                 {session}..={last_session} against {addr}"
+            ),
+            multi.totals(),
+        )
+    };
 
     Ok(format!(
-        "client: session {session} against {addr}\n\
+        "{header}\n\
          \x20 turns acked:      {}\n\
          \x20 ops applied:      {}\n\
          \x20 objects created:  {}\n\
@@ -79,6 +102,7 @@ mod tests {
     fn rejects_bad_flags() {
         assert!(run(&argv("")).is_err(), "--connect is required");
         assert!(run(&argv("--connect 127.0.0.1:1 --window 0")).is_err());
+        assert!(run(&argv("--connect 127.0.0.1:1 --connections 0")).is_err());
         assert!(run(&argv("--connect 127.0.0.1:1 --tpyo 1")).is_err());
     }
 

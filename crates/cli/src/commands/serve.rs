@@ -27,7 +27,27 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let telemetry_path = flags.get("telemetry");
     let addr_file = flags.get("addr-file");
     let gc_workers = crate::commands::parse_gc_workers(&flags)?;
+    let net_threads_flag = crate::commands::parse_net_threads(&flags)?;
     flags.finish()?;
+
+    // Flag wins; else the environment; else 0 = auto (min(4, cores)).
+    let net_threads = match net_threads_flag {
+        Some(n) => n,
+        None => match std::env::var("ODBGC_NET_THREADS") {
+            Ok(s) => match odbgc_core::parse_worker_env(
+                "ODBGC_NET_THREADS",
+                &s,
+                "using min(4, available cores)",
+            ) {
+                Ok(n) => n,
+                Err(warning) => {
+                    eprintln!("{warning}");
+                    0
+                }
+            },
+            Err(_) => 0,
+        },
+    };
 
     if shards == 0 {
         return Err(CliError("--shards must be at least 1".into()));
@@ -57,6 +77,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         shards,
         window_max,
         idle_timeout: std::time::Duration::from_millis(idle_timeout_ms.max(1)),
+        net_threads,
         ..NetConfig::default()
     };
     let server = NetServer::bind(&listen, config, |_| {
@@ -100,6 +121,24 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             out.push_str(&format!("\n\x20 FAILED:           {failed}"));
         }
     }
+    for (i, l) in outcome.loops.iter().enumerate() {
+        // Loop counters are pure scheduling artifacts: volatile by
+        // construction, reported for operators, never compared.
+        out.push_str(&format!(
+            "\nnet loop {i}: {} wakeup(s), {} timer tick(s), {} accepted, \
+             {} frames in / {} out, {} partial read(s), {} partial write(s), \
+             {} completion(s), max shard queue {}",
+            l.wakeups,
+            l.timeouts,
+            l.accepted,
+            l.frames_in,
+            l.frames_out,
+            l.partial_reads,
+            l.partial_writes,
+            l.completions,
+            l.max_queue_depth,
+        ));
+    }
     for c in &outcome.clients {
         // Per-client accounting is timing-dependent (bytes include
         // retries, stall time is wall clock); it lives on its own lines
@@ -132,6 +171,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             // byte-comparable with in-process serve telemetry.
             if let Json::Obj(fields) = &mut doc {
                 fields.push(("net_clients".to_owned(), clients_json(&outcome.clients)));
+                fields.push(("net_loops".to_owned(), loops_json(&outcome.loops)));
             }
             let shard_path =
                 super::serve_bench::shard_telemetry_path(path, i, outcome.shards.len());
@@ -141,6 +181,29 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+fn loops_json(loops: &[odbgc_net::LoopStats]) -> Json {
+    Json::Arr(
+        loops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                Json::Obj(vec![
+                    ("loop".into(), Json::u64(i as u64)),
+                    ("wakeups".into(), Json::u64(l.wakeups)),
+                    ("timeouts".into(), Json::u64(l.timeouts)),
+                    ("accepted".into(), Json::u64(l.accepted)),
+                    ("frames_in".into(), Json::u64(l.frames_in)),
+                    ("frames_out".into(), Json::u64(l.frames_out)),
+                    ("partial_reads".into(), Json::u64(l.partial_reads)),
+                    ("partial_writes".into(), Json::u64(l.partial_writes)),
+                    ("completions".into(), Json::u64(l.completions)),
+                    ("max_queue_depth".into(), Json::u64(l.max_queue_depth)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn clients_json(clients: &[odbgc_net::ClientCounters]) -> Json {
@@ -178,6 +241,8 @@ mod tests {
         assert!(run(&argv("--policy fixed:25 --shards 0")).is_err());
         assert!(run(&argv("--policy fixed:25 --window-max 0")).is_err());
         assert!(run(&argv("--policy fixed:25 --store weird")).is_err());
+        assert!(run(&argv("--policy fixed:25 --net-threads 0")).is_err());
+        assert!(run(&argv("--policy fixed:25 --net-threads lots")).is_err());
         assert!(run(&argv("--policy fixed:25 --tpyo 1")).is_err());
     }
 
@@ -190,7 +255,8 @@ mod tests {
         let addr_file = dir.join("addr");
         let telemetry = dir.join("net.json");
         let args = format!(
-            "--policy fixed:25 --shards 1 --listen 127.0.0.1:0 --addr-file {} --telemetry {}",
+            "--policy fixed:25 --shards 1 --net-threads 2 --listen 127.0.0.1:0 \
+             --addr-file {} --telemetry {}",
             addr_file.display(),
             telemetry.display()
         );
@@ -226,6 +292,12 @@ mod tests {
             text.contains("net_clients"),
             "telemetry carries client counters"
         );
+        assert!(
+            text.contains("net_loops"),
+            "telemetry carries per-loop counters"
+        );
+        assert!(out.contains("net loop 0: "), "{out}");
+        assert!(out.contains("net loop 1: "), "{out}");
         let doc = odbgc_sim::Json::parse(&text).expect("telemetry parses");
         assert_eq!(odbgc_sim::verify_header(&doc).as_deref(), Ok("run"));
         std::fs::remove_dir_all(&dir).ok();

@@ -1,11 +1,12 @@
 //! Shared parsing of worker-count environment variables.
 //!
-//! `ODBGC_JOBS` (experiment-plan worker threads) and `ODBGC_GC_WORKERS`
-//! (per-engine collector pool size) are both "positive integer or
-//! ignored" knobs, read in different crates. This helper gives every
-//! reader the same validation and — critically — the same warning
-//! message shape, so an invalid value is diagnosed identically whether
-//! it reaches `run`, `sweep`, `serve-bench`, or `serve`.
+//! `ODBGC_JOBS` (experiment-plan worker threads), `ODBGC_GC_WORKERS`
+//! (per-engine collector pool size), and `ODBGC_NET_THREADS` (serve
+//! event-loop pool size) are all "positive integer or ignored" knobs,
+//! read in different crates. This helper gives every reader the same
+//! validation and — critically — the same warning message shape, so an
+//! invalid value is diagnosed identically whether it reaches `run`,
+//! `sweep`, `serve-bench`, or `serve`.
 
 /// Parses a worker-count environment value: a positive integer after
 /// trimming.
@@ -39,6 +40,10 @@ mod tests {
         assert_eq!(parse_worker_env("ODBGC_JOBS", "1", "using 1"), Ok(1));
         assert_eq!(parse_worker_env("ODBGC_JOBS", " 8 ", "using 1"), Ok(8));
         assert_eq!(parse_worker_env("ODBGC_GC_WORKERS", "4", "using 1"), Ok(4));
+        assert_eq!(
+            parse_worker_env("ODBGC_NET_THREADS", "2", "using min(4, available cores)"),
+            Ok(2)
+        );
     }
 
     #[test]

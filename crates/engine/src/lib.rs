@@ -43,8 +43,9 @@ pub use result::RunResult;
 pub use series::CollectionRecord;
 pub use serve::{
     apply_ops, serve, serve_replay, GcFault, ObjRef, ServeConfig, ServeError, ServeErrorKind,
-    ServeOutcome, ServeReplayError, SessionObjects, SessionOp, SessionWorkload, ShardOutcome,
-    ShardSet, ShardStatus, ShardTurn, TurnApplied, TurnError, TurnErrorKind, WorkloadParams,
+    ServeOutcome, ServeReplayError, SessionObjects, SessionOp, SessionWorkload, ShardEvent,
+    ShardHook, ShardOutcome, ShardSet, ShardStatus, ShardTurn, TurnApplied, TurnError,
+    TurnErrorKind, WorkloadParams,
 };
 pub use session::{
     Accessed, Created, OpError, Overwrote, RootAdded, RootRemoved, Session, SessionId,

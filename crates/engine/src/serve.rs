@@ -490,6 +490,39 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 // Shard set
 // ---------------------------------------------------------------------
 
+/// A notification fired by a shard's background GC worker, for
+/// front-ends that must observe shard progress without taking the shard
+/// mutex (the network event loop serves `Stats` from a lock-free cache
+/// fed by these).
+///
+/// Events fire on the GC worker's thread after it has released the shard
+/// lock, so a hook may do small bookkeeping (atomics, a short mutex) but
+/// must never block on the shard it is being told about.
+#[derive(Debug, Clone)]
+pub enum ShardEvent {
+    /// A collection drain completed; `collections` is the shard's new
+    /// lifetime total.
+    Collected {
+        /// The shard that collected.
+        shard: usize,
+        /// Collections the shard has now completed.
+        collections: u64,
+    },
+    /// The shard stopped serving. `message` is formatted exactly as
+    /// [`ShardStatus::failed`] reports it, so caches built from events
+    /// and snapshots built from [`ShardSet::status`] agree byte-wise.
+    Failed {
+        /// The shard that died.
+        shard: usize,
+        /// The failure notice.
+        message: String,
+    },
+}
+
+/// A shard-event observer shared with every GC worker of a
+/// [`ShardSet`].
+pub type ShardHook = Arc<dyn Fn(&ShardEvent) + Send + Sync>;
+
 /// One shard's progress snapshot, from [`ShardSet::status`].
 #[derive(Debug, Clone)]
 pub struct ShardStatus {
@@ -578,8 +611,22 @@ impl ShardSet {
     pub fn new(
         engine: &EngineConfig,
         shard_count: usize,
+        make_policy: impl FnMut(u32) -> Box<dyn RatePolicy + Send>,
+        fault: Option<GcFault>,
+    ) -> Result<ShardSet, ServeError> {
+        ShardSet::with_hook(engine, shard_count, make_policy, fault, None)
+    }
+
+    /// [`ShardSet::new`], with an optional [`ShardHook`] every GC worker
+    /// fires after completing a collection drain or dying — the
+    /// completion-notification channel the network event loop uses to
+    /// keep shard status observable without touching shard mutexes.
+    pub fn with_hook(
+        engine: &EngineConfig,
+        shard_count: usize,
         mut make_policy: impl FnMut(u32) -> Box<dyn RatePolicy + Send>,
         fault: Option<GcFault>,
+        hook: Option<ShardHook>,
     ) -> Result<ShardSet, ServeError> {
         let shard_count = shard_count.max(1);
         let slots: Vec<Arc<Slot>> = (0..shard_count)
@@ -601,9 +648,10 @@ impl ShardSet {
         let mut workers = Vec::with_capacity(shard_count);
         for (i, slot) in slots.iter().enumerate() {
             let slot = Arc::clone(slot);
+            let hook = hook.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("odbgc-gc-{i}"))
-                .spawn(move || gc_worker(&slot, i, fault))
+                .spawn(move || gc_worker(&slot, i, fault, hook.as_deref()))
                 .map_err(|e| ServeError {
                     shard: i,
                     kind: ServeErrorKind::Spawn(e.to_string()),
@@ -782,7 +830,12 @@ impl ShardTurn<'_> {
 /// drain — including injected faults — are caught and recorded in the
 /// shard's failure latch; the mutex is never poisoned by this thread
 /// because the guard outlives the unwind.
-fn gc_worker(slot: &Slot, shard: usize, fault: Option<GcFault>) {
+fn gc_worker(
+    slot: &Slot,
+    shard: usize,
+    fault: Option<GcFault>,
+    hook: Option<&(dyn Fn(&ShardEvent) + Send + Sync)>,
+) {
     loop {
         let mut st = lock_recover(slot);
         while !st.collecting && !st.shutdown {
@@ -811,11 +864,27 @@ fn gc_worker(slot: &Slot, shard: usize, fault: Option<GcFault>) {
         }));
         st.collecting = false;
         let died = outcome.is_err();
-        if let Err(payload) = outcome {
-            st.failed = Some(ServeFailure::WorkerPanic(panic_message(payload)));
-        }
+        let event = match outcome {
+            Ok(()) => ShardEvent::Collected {
+                shard,
+                collections: st.engine.collection_count(),
+            },
+            Err(payload) => {
+                let message = panic_message(payload);
+                st.failed = Some(ServeFailure::WorkerPanic(message.clone()));
+                ShardEvent::Failed {
+                    shard,
+                    message: format!("GC worker panicked: {message}"),
+                }
+            }
+        };
         drop(st);
         slot.cv.notify_all();
+        // Fired after the lock is released: a hook can never extend the
+        // window during which checkouts are stalled behind this drain.
+        if let Some(hook) = hook {
+            hook(&event);
+        }
         if died {
             return;
         }
@@ -1219,6 +1288,70 @@ mod tests {
         assert!(out.shards[0].failed.is_some());
         // And the failure is printable without touching the panic path.
         assert!(failure.to_string().contains("GC worker panicked"));
+    }
+
+    #[test]
+    fn shard_hook_sees_every_collection_and_the_failure() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // Drive one shard directly and record what the hook observes.
+        let collected = Arc::new(AtomicU64::new(0));
+        let failed = Arc::new(Mutex::new(None::<String>));
+        let hook: ShardHook = {
+            let collected = Arc::clone(&collected);
+            let failed = Arc::clone(&failed);
+            Arc::new(move |ev| match ev {
+                ShardEvent::Collected { collections, .. } => {
+                    collected.store(*collections, Ordering::SeqCst);
+                }
+                ShardEvent::Failed { message, .. } => {
+                    *failed.lock().unwrap() = Some(message.clone());
+                }
+            })
+        };
+        let set = ShardSet::with_hook(
+            &EngineConfig::tiny(),
+            1,
+            |_| Box::new(FixedRatePolicy::new(20)),
+            Some(GcFault {
+                shard: 0,
+                after_collections: 1,
+            }),
+            Some(hook),
+        )
+        .expect("shard set");
+        let mut workload = SessionWorkload::new(0, WorkloadParams::default(), 2_000);
+        let mut objects = SessionObjects::new();
+        loop {
+            let turn = workload.next_turn(8);
+            if turn.is_empty() {
+                break;
+            }
+            let mut checked_out = match set.checkout(0) {
+                Ok(t) => t,
+                Err(_) => break, // the injected fault fired
+            };
+            let mut sess = checked_out.session(SessionId::new(0));
+            apply_ops(&mut sess, &mut objects, &turn).expect("turn applies");
+            checked_out.finish();
+        }
+        let outcome = set.shutdown();
+        if outcome[0].failed.is_some() {
+            // The fault fired: the hook saw the first collection and then
+            // the death, formatted exactly as status()/outcome report it.
+            assert_eq!(collected.load(Ordering::SeqCst), 1);
+            let msg = failed.lock().unwrap().clone().expect("failure event");
+            assert_eq!(msg, outcome[0].failed.clone().unwrap());
+            assert!(msg.contains("injected GC worker fault"), "{msg}");
+        } else {
+            // Rate 20 on 2000 ops must collect; reaching here means the
+            // workload finished before the *second* collection came due,
+            // and the hook still saw the first.
+            assert_eq!(
+                collected.load(Ordering::SeqCst),
+                outcome[0].result.collection_count()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! A minimal `poll(2)` binding plus the self-wake primitive the event
+//! loop registers alongside its sockets.
+//!
+//! The workspace builds without crates.io, so — exactly like the
+//! tracefile crate's `mmap(2)` binding — the two syscalls the loop needs
+//! are declared by hand against the libc that `std` already links. The
+//! poll flag values used here (`POLLIN` 0x1, `POLLOUT` 0x4, `POLLERR`
+//! 0x8, `POLLHUP` 0x10, `POLLNVAL` 0x20) are identical on Linux, the
+//! BSDs, and macOS, so one set of constants covers every Unix target.
+//!
+//! [`WakePipe`] is the completion-notification half: shard executors
+//! finish a turn on their own threads and must wake the loop thread that
+//! owns the connection. On Linux it is a real self-pipe (`pipe2(2)` with
+//! `O_NONBLOCK | O_CLOEXEC`); on other Unix targets it is a loopback UDP
+//! socket connected to itself (pure `std`, same poll semantics); on
+//! non-Unix targets it is a no-op because [`poll`] there degrades to a
+//! bounded sleep that reports every descriptor ready (documented on the
+//! function), so the loop ticks instead of sleeping forever.
+
+use std::io;
+
+/// A file descriptor as the poll set carries it (`c_int` everywhere this
+/// binding actually polls; a placeholder value on non-Unix targets).
+pub type Fd = i32;
+
+/// Readable data available (or a peer hangup, which also reads as EOF).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition on the descriptor (always reported, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always reported, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (always reported, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry in a poll set: the C `struct pollfd`, laid out exactly as
+/// the kernel expects so a `&mut [PollFd]` can be passed straight to the
+/// syscall.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor to watch (negative entries are ignored by the
+    /// kernel, which is the standard way to leave a slot registered but
+    /// inert).
+    pub fd: Fd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled by [`poll`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events`.
+    pub fn new(fd: Fd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// True when the kernel reported any of `mask` on this entry.
+    pub fn has(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_int;
+
+    use super::PollFd;
+
+    #[cfg(target_os = "linux")]
+    pub(super) type NfdsT = std::ffi::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    pub(super) type NfdsT = std::ffi::c_uint;
+
+    extern "C" {
+        pub(super) fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+    }
+}
+
+/// Waits until at least one registered event is ready, the timeout
+/// elapses, or a signal interrupts the wait.
+///
+/// `timeout_ms` follows the syscall's convention: `-1` blocks
+/// indefinitely, `0` polls without blocking, anything positive is a cap
+/// in milliseconds. Returns the number of entries with non-zero
+/// `revents` (0 on timeout). An `EINTR` interruption is reported as
+/// `Ok(0)` — the caller's loop re-evaluates its deadlines and polls
+/// again, which is exactly what it would do for a timeout.
+///
+/// `emulation_tick` is ignored on Unix. On non-Unix targets there is no
+/// `poll(2)`; the fallback sleeps `min(timeout_ms, emulation_tick)` and
+/// then reports every entry ready for whatever it requested — a
+/// degraded-but-correct mode in which the loop's reads and writes simply
+/// discover `WouldBlock` themselves at each tick.
+#[cfg(unix)]
+pub fn poll(
+    fds: &mut [PollFd],
+    timeout_ms: i32,
+    emulation_tick: std::time::Duration,
+) -> io::Result<usize> {
+    let _ = emulation_tick;
+    for fd in fds.iter_mut() {
+        fd.revents = 0;
+    }
+    // SAFETY: `fds` is a valid, exclusively borrowed slice of repr(C)
+    // pollfd entries for the duration of the call; the kernel writes
+    // only the `revents` fields of the `fds.len()` entries we declare.
+    let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as sys::NfdsT, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+/// Non-Unix fallback: see the Unix variant's documentation.
+#[cfg(not(unix))]
+pub fn poll(
+    fds: &mut [PollFd],
+    timeout_ms: i32,
+    emulation_tick: std::time::Duration,
+) -> io::Result<usize> {
+    let tick = if timeout_ms < 0 {
+        emulation_tick
+    } else {
+        emulation_tick.min(std::time::Duration::from_millis(timeout_ms as u64))
+    };
+    if !tick.is_zero() {
+        std::thread::sleep(tick);
+    }
+    let mut ready = 0usize;
+    for fd in fds.iter_mut() {
+        fd.revents = fd.events;
+        if fd.revents != 0 {
+            ready += 1;
+        }
+    }
+    Ok(ready)
+}
+
+// ---------------------------------------------------------------------
+// Wake pipe
+// ---------------------------------------------------------------------
+
+/// The loop's cross-thread wake-up: a descriptor registered for `POLLIN`
+/// in the poll set, plus a [`WakePipe::wake`] any thread may call to make
+/// that descriptor readable.
+///
+/// Wakes are level-triggered and coalescing: any number of `wake` calls
+/// before the loop drains leave the descriptor readable exactly until
+/// [`WakePipe::drain`] empties it, so a burst of completions costs one
+/// loop iteration, not one per completion.
+#[derive(Debug)]
+pub struct WakePipe {
+    inner: imp::Wake,
+}
+
+impl WakePipe {
+    /// Creates the wake primitive for one loop thread.
+    pub fn new() -> io::Result<WakePipe> {
+        Ok(WakePipe {
+            inner: imp::Wake::new()?,
+        })
+    }
+
+    /// The descriptor to register with [`POLLIN`].
+    pub fn fd(&self) -> Fd {
+        self.inner.fd()
+    }
+
+    /// Makes the descriptor readable. Best-effort and non-blocking: a
+    /// full pipe means a wake is already pending, which is all a wake
+    /// means.
+    pub fn wake(&self) {
+        self.inner.wake();
+    }
+
+    /// Consumes every pending wake byte so the descriptor goes quiet
+    /// until the next [`WakePipe::wake`].
+    pub fn drain(&self) {
+        self.inner.drain();
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    //! The classic self-pipe, created atomically non-blocking with
+    //! `pipe2(2)` — hand-declared like the rest of this module's
+    //! syscall surface.
+
+    use std::ffi::{c_int, c_void};
+    use std::io;
+
+    use super::Fd;
+
+    const O_NONBLOCK: c_int = 0o4000;
+    const O_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Wake {
+        read_fd: c_int,
+        write_fd: c_int,
+    }
+
+    // SAFETY: both descriptors are plain integers owned for the struct's
+    // whole life; `read`/`write` on a pipe are thread-safe, and the
+    // byte-level races (two wakes, a wake during a drain) only affect
+    // how many wake bytes sit in the pipe, never its validity.
+    unsafe impl Send for Wake {}
+    unsafe impl Sync for Wake {}
+
+    impl Wake {
+        pub(super) fn new() -> io::Result<Wake> {
+            let mut fds = [0 as c_int; 2];
+            // SAFETY: `fds` is a valid 2-element buffer; pipe2 either
+            // fills both entries with fresh descriptors or fails.
+            let rc = unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Wake {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+
+        pub(super) fn fd(&self) -> Fd {
+            self.read_fd
+        }
+
+        pub(super) fn wake(&self) {
+            let byte = 1u8;
+            // SAFETY: `write_fd` is our open non-blocking pipe end and
+            // the buffer is one live byte. EAGAIN (pipe full) is fine: a
+            // pending wake byte already exists.
+            unsafe {
+                write(self.write_fd, (&byte as *const u8).cast(), 1);
+            }
+        }
+
+        pub(super) fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                // SAFETY: `read_fd` is our open non-blocking pipe end and
+                // `buf` is a live 64-byte buffer the kernel may fill.
+                let n = unsafe { read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+                if n <= 0 {
+                    // 0 cannot happen (we hold the write end); negative
+                    // is EAGAIN/EINTR — either way the pipe is as quiet
+                    // as we can make it without blocking.
+                    return;
+                }
+            }
+        }
+    }
+
+    impl Drop for Wake {
+        fn drop(&mut self) {
+            // SAFETY: closing descriptors this struct exclusively owns.
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    //! Portable Unix fallback: a loopback UDP socket connected to
+    //! itself. Sends from any thread land in its own receive queue,
+    //! which `poll` observes as `POLLIN` — identical semantics to the
+    //! pipe without assuming `pipe2` exists on the target.
+
+    use std::io;
+    use std::net::UdpSocket;
+    use std::os::unix::io::AsRawFd;
+
+    use super::Fd;
+
+    #[derive(Debug)]
+    pub(super) struct Wake {
+        sock: UdpSocket,
+    }
+
+    impl Wake {
+        pub(super) fn new() -> io::Result<Wake> {
+            let sock = UdpSocket::bind("127.0.0.1:0")?;
+            sock.connect(sock.local_addr()?)?;
+            sock.set_nonblocking(true)?;
+            Ok(Wake { sock })
+        }
+
+        pub(super) fn fd(&self) -> Fd {
+            self.sock.as_raw_fd()
+        }
+
+        pub(super) fn wake(&self) {
+            let _ = self.sock.send(&[1]);
+        }
+
+        pub(super) fn drain(&self) {
+            let mut buf = [0u8; 8];
+            while self.sock.recv(&mut buf).is_ok() {}
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    //! Non-Unix targets run the emulated tick-poll, which wakes on its
+    //! own schedule; the wake primitive is a no-op with an inert fd.
+
+    use std::io;
+
+    use super::Fd;
+
+    #[derive(Debug)]
+    pub(super) struct Wake;
+
+    impl Wake {
+        pub(super) fn new() -> io::Result<Wake> {
+            Ok(Wake)
+        }
+
+        pub(super) fn fd(&self) -> Fd {
+            // Negative fds are ignored by poll sets by convention.
+            -1
+        }
+
+        pub(super) fn wake(&self) {}
+
+        pub(super) fn drain(&self) {}
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+
+    #[test]
+    fn wake_pipe_is_poll_visible_and_drains_quiet() {
+        let wake = WakePipe::new().expect("wake pipe");
+        let mut fds = [PollFd::new(wake.fd(), POLLIN)];
+
+        // Quiet pipe: an immediate poll times out with nothing ready.
+        let ready = poll(&mut fds, 0, Duration::ZERO).expect("poll");
+        assert_eq!(ready, 0);
+        assert!(!fds[0].has(POLLIN));
+
+        // Multiple wakes coalesce into one readable level.
+        wake.wake();
+        wake.wake();
+        let ready = poll(&mut fds, 1_000, Duration::ZERO).expect("poll");
+        assert_eq!(ready, 1);
+        assert!(fds[0].has(POLLIN));
+
+        // Draining returns the pipe to quiet.
+        wake.drain();
+        let ready = poll(&mut fds, 0, Duration::ZERO).expect("poll");
+        assert_eq!(ready, 0);
+    }
+
+    #[test]
+    fn wake_is_cross_thread() {
+        let wake = std::sync::Arc::new(WakePipe::new().expect("wake pipe"));
+        let remote = std::sync::Arc::clone(&wake);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            remote.wake();
+        });
+        let mut fds = [PollFd::new(wake.fd(), POLLIN)];
+        let ready = poll(&mut fds, 5_000, Duration::ZERO).expect("poll");
+        assert_eq!(ready, 1, "a wake from another thread must wake the poll");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn empty_poll_set_times_out() {
+        let mut fds: [PollFd; 0] = [];
+        assert_eq!(poll(&mut fds, 0, Duration::ZERO).expect("poll"), 0);
+    }
+}

@@ -87,13 +87,38 @@ impl From<std::io::Error> for ProtoError {
 // Frame I/O
 // ---------------------------------------------------------------------
 
-/// Writes one frame: length prefix, body, CRC32 trailer.
-pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+/// Appends one complete frame — length prefix, body, CRC32 trailer — to
+/// `out`. This is the single serialization point every write path funnels
+/// through, so a frame always hits the socket as one contiguous buffer.
+pub fn frame_into(out: &mut Vec<u8>, body: &[u8]) {
     debug_assert!(body.len() as u64 <= MAX_FRAME as u64);
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(body)?;
-    w.write_all(&crc32(body).to_le_bytes())?;
+    out.reserve(body.len() + FRAME_OVERHEAD as usize);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+}
+
+/// Writes one frame through `scratch` as a single `write_all` — one
+/// syscall per frame instead of the three (length, body, CRC) the naive
+/// encoding would issue. `scratch` is cleared and reused; a caller that
+/// keeps one per connection writes every frame allocation-free.
+pub fn write_frame_with(
+    w: &mut impl Write,
+    body: &[u8],
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    scratch.clear();
+    frame_into(scratch, body);
+    w.write_all(scratch)?;
     w.flush()
+}
+
+/// Writes one frame: length prefix, body, CRC32 trailer (one write).
+/// Allocates a fresh scratch buffer per call; hot paths keep their own
+/// and call [`write_frame_with`].
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    let mut scratch = Vec::new();
+    write_frame_with(w, body, &mut scratch)
 }
 
 /// Reads one frame, verifying the length bound and the CRC trailer.
@@ -104,22 +129,32 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
 /// stream out of sync; callers treat any `Io` after partial progress as
 /// fatal to the connection.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtoError> {
+    let mut body = Vec::new();
+    read_frame_into(r, &mut body)?;
+    Ok(body)
+}
+
+/// [`read_frame`] into a caller-owned buffer: `body` is cleared, resized
+/// to the frame's length, and filled — a connection that keeps one buffer
+/// reads every frame without allocating past its high-water mark.
+pub fn read_frame_into(r: &mut impl Read, body: &mut Vec<u8>) -> Result<(), ProtoError> {
     let mut len_bytes = [0u8; 4];
     r.read_exact(&mut len_bytes)?;
     let len = u32::from_le_bytes(len_bytes);
     if len > MAX_FRAME {
         return Err(ProtoError::TooLarge(len));
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
+    body.clear();
+    body.resize(len as usize, 0);
+    r.read_exact(body)?;
     let mut crc_bytes = [0u8; 4];
     r.read_exact(&mut crc_bytes)?;
     let want = u32::from_le_bytes(crc_bytes);
-    let got = crc32(&body);
+    let got = crc32(body);
     if got != want {
         return Err(ProtoError::Crc { got, want });
     }
-    Ok(body)
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -296,29 +331,36 @@ impl Request {
     /// Encodes the request as a frame body.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// [`Request::encode`], appending to a caller-owned buffer (cleared
+    /// first) so a connection's send path reuses one body buffer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         match self {
             Request::Hello { session, window } => {
                 out.push(REQ_HELLO);
-                put_u64(&mut out, *session as u64);
-                put_u64(&mut out, *window as u64);
+                put_u64(out, *session as u64);
+                put_u64(out, *window as u64);
             }
             Request::Ops { ops } => {
                 out.push(REQ_OPS);
-                put_u64(&mut out, ops.len() as u64);
+                put_u64(out, ops.len() as u64);
                 for op in ops {
-                    put_op(&mut out, op);
+                    put_op(out, op);
                 }
             }
             Request::Ack { n } => {
                 out.push(REQ_ACK);
-                put_u64(&mut out, *n);
+                put_u64(out, *n);
             }
             Request::Stats => out.push(REQ_STATS),
             Request::Collect => out.push(REQ_COLLECT),
             Request::Shutdown => out.push(REQ_SHUTDOWN),
             Request::Bye => out.push(REQ_BYE),
         }
-        out
     }
 
     /// Decodes a frame body as a request.
@@ -552,6 +594,16 @@ impl Response {
     /// Encodes the response as a frame body.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// [`Response::encode`], appending to a caller-owned buffer (cleared
+    /// first). The event-loop server encodes every response through one
+    /// per-loop scratch buffer and frames it straight into the
+    /// connection's write buffer.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         match self {
             Response::HelloOk {
                 session,
@@ -559,9 +611,9 @@ impl Response {
                 window,
             } => {
                 out.push(RESP_HELLO_OK);
-                put_u64(&mut out, *session as u64);
-                put_u64(&mut out, *shard as u64);
-                put_u64(&mut out, *window as u64);
+                put_u64(out, *session as u64);
+                put_u64(out, *shard as u64);
+                put_u64(out, *window as u64);
             }
             Response::OpsOk {
                 applied,
@@ -571,53 +623,52 @@ impl Response {
                 gc_stall_ns,
             } => {
                 out.push(RESP_OPS_OK);
-                put_u64(&mut out, *applied);
-                put_u64(&mut out, *created);
-                put_u64(&mut out, *garbage_created);
-                put_u64(&mut out, *in_flight);
-                put_u64(&mut out, *gc_stall_ns);
+                put_u64(out, *applied);
+                put_u64(out, *created);
+                put_u64(out, *garbage_created);
+                put_u64(out, *in_flight);
+                put_u64(out, *gc_stall_ns);
             }
             Response::Busy { in_flight, window } => {
                 out.push(RESP_BUSY);
-                put_u64(&mut out, *in_flight);
-                put_u64(&mut out, *window);
+                put_u64(out, *in_flight);
+                put_u64(out, *window);
             }
             Response::AckOk { in_flight } => {
                 out.push(RESP_ACK_OK);
-                put_u64(&mut out, *in_flight);
+                put_u64(out, *in_flight);
             }
             Response::StatsOk(snap) => {
                 out.push(RESP_STATS_OK);
-                put_u64(&mut out, snap.shards.len() as u64);
+                put_u64(out, snap.shards.len() as u64);
                 for s in &snap.shards {
-                    put_u64(&mut out, s.shard as u64);
-                    put_u64(&mut out, s.collections);
+                    put_u64(out, s.shard as u64);
+                    put_u64(out, s.collections);
                     match &s.failed {
                         Some(msg) => {
-                            put_u64(&mut out, 1);
-                            put_str(&mut out, msg);
+                            put_u64(out, 1);
+                            put_str(out, msg);
                         }
-                        None => put_u64(&mut out, 0),
+                        None => put_u64(out, 0),
                     }
                 }
-                put_u64(&mut out, snap.clients.len() as u64);
+                put_u64(out, snap.clients.len() as u64);
                 for c in &snap.clients {
-                    put_counters(&mut out, c);
+                    put_counters(out, c);
                 }
             }
             Response::CollectOk { kicked } => {
                 out.push(RESP_COLLECT_OK);
-                put_u64(&mut out, *kicked);
+                put_u64(out, *kicked);
             }
             Response::ShutdownOk => out.push(RESP_SHUTDOWN_OK),
             Response::ByeOk => out.push(RESP_BYE_OK),
             Response::Error { code, message } => {
                 out.push(RESP_ERROR);
-                put_u64(&mut out, code.to_wire());
-                put_str(&mut out, message);
+                put_u64(out, code.to_wire());
+                put_str(out, message);
             }
         }
-        out
     }
 
     /// Decodes a frame body as a response.

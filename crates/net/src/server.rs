@@ -1,43 +1,63 @@
-//! The serve front-end: a TCP listener multiplexing client connections
-//! onto a [`ShardSet`].
+//! The serve front-end: a readiness-driven event loop multiplexing
+//! client connections onto a [`ShardSet`] over a fixed thread pool.
 //!
-//! One handler thread per connection; the connection's session id (from
-//! its Hello) fixes the shard it drives, and the shard's own mutex
-//! serializes turns against it — the server adds no global lock on the
-//! op path, so connections on different shards proceed in parallel
-//! exactly as the in-process scheduler's sessions do.
+//! Threading is fixed at bind time and independent of connection count:
 //!
-//! Three lifecycle guarantees, each mirrored by a test:
+//! * **Net loop threads** (`NetConfig::net_threads`, default
+//!   `min(4, cores)`) each run a `poll(2)` loop over their share of the
+//!   non-blocking connections. Loop 0 also polls the listener, so
+//!   accepting is readiness-driven too — an idle server sleeps in
+//!   `poll` indefinitely instead of tick-polling `accept`. Accepted
+//!   connections are dealt round-robin across the loops.
+//! * **Shard executor threads** (one per shard) apply decoded turns
+//!   through the existing per-shard mutex/condvar handshake
+//!   ([`ShardSet::checkout`] → [`apply_ops`] → `finish`), so a turn
+//!   stalled behind a collection blocks only its shard's executor,
+//!   never a loop thread. Completions return to the owning loop through
+//!   a queue plus a self-wake descriptor registered in its poll set.
+//! * The shard set's own **GC worker threads** are unchanged.
 //!
-//! * **Backpressure is explicit and deterministic.** Every applied turn
-//!   consumes one window credit; credits return only on `Ack`. A turn
-//!   arriving with no credit left gets a `Busy` response and is *not*
-//!   applied — whether that happens depends only on the frame sequence
-//!   the client sent, never on server timing.
-//! * **Idle connections are reaped.** A connection that sends nothing
-//!   for `idle_timeout` is closed (counted as an unclean close); a
-//!   stalled client cannot pin the server open.
-//! * **Drain is graceful.** `Shutdown` stops the accept loop and new
-//!   turns, but every turn already applied has already been
-//!   acknowledged (apply and ack are one synchronous step), so a drain
-//!   loses zero acknowledged operations. Handler threads are joined,
-//!   shard telemetry is flushed into the outcome, and only then does
-//!   [`NetServer::run`] return.
+//! The lifecycle guarantees of the blocking server carry over exactly —
+//! the `serve_net` acceptance tests run unmodified:
+//!
+//! * **Backpressure is explicit and deterministic.** A connection's
+//!   frames are decoded strictly in order, and decoding *pauses* while
+//!   a turn is checked out to a shard executor, so the credit-window
+//!   arithmetic sees the same frame sequence the client sent — whether
+//!   a turn gets `Busy` depends only on that sequence, never on loop
+//!   scheduling.
+//! * **Idle connections are reaped.** Poll timeouts are computed from
+//!   the earliest idle deadline; a silent connection is closed after
+//!   `idle_timeout` (unclean), without any periodic tick when nobody is
+//!   due.
+//! * **Drain is graceful.** `Shutdown` wakes every loop; queued turns
+//!   still complete (each was accepted before the drain), responses are
+//!   flushed, and every acknowledged operation is in the shard results
+//!   when [`NetServer::run`] returns.
+//!
+//! Per-loop counters (wakeups, frames, partial reads/writes, executor
+//! queue depth) are reported in [`NetOutcome::loops`] and published by
+//! the CLI under the volatile `net_loops` telemetry key.
 
-use std::io::ErrorKind;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use odbgc_core::RatePolicy;
 use odbgc_engine::{
-    apply_ops, EngineConfig, GcFault, ServeError, SessionId, SessionObjects, ShardOutcome, ShardSet,
+    apply_ops, EngineConfig, GcFault, ServeError, SessionId, SessionObjects, SessionOp, ShardEvent,
+    ShardHook, ShardOutcome, ShardSet, TurnApplied, TurnError,
 };
 
+use crate::conn::{ConnPhase, Connection};
+use crate::poll::{poll, Fd, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use crate::proto::{
-    read_frame, write_frame, ClientCounters, ErrorCode, ProtoError, Request, Response, ShardStats,
-    StatsSnapshot, FRAME_OVERHEAD,
+    frame_into, ClientCounters, ErrorCode, Request, Response, ShardStats, StatsSnapshot,
+    FRAME_OVERHEAD,
 };
 
 /// Configuration of a network serve instance.
@@ -52,9 +72,13 @@ pub struct NetConfig {
     pub window_max: u32,
     /// Close a connection after this much silence.
     pub idle_timeout: Duration,
-    /// Read-timeout tick: how often blocked reads wake to check the
-    /// drain flag and the idle clock.
+    /// Event-loop tick used only by the emulated poll on targets
+    /// without `poll(2)`; on Unix the loops are purely event-driven and
+    /// never tick.
     pub poll_interval: Duration,
+    /// Net loop threads. `0` means `min(4, available cores)`. Thread
+    /// count is fixed at bind and independent of connection count.
+    pub net_threads: usize,
     /// Optional kill-one-GC-worker fault injection (robustness tests).
     pub gc_fault: Option<GcFault>,
 }
@@ -67,9 +91,36 @@ impl Default for NetConfig {
             window_max: 64,
             idle_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(25),
+            net_threads: 0,
             gc_fault: None,
         }
     }
+}
+
+/// One net loop thread's lifetime counters, reported in
+/// [`NetOutcome::loops`]. All timing- and scheduling-dependent, hence
+/// published only under the volatile `net_loops` telemetry key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Poll returns with at least one ready descriptor.
+    pub wakeups: u64,
+    /// Poll returns with nothing ready (an idle-deadline timer tick —
+    /// zero on an idle server, which is the point of the event loop).
+    pub timeouts: u64,
+    /// Connections this loop adopted.
+    pub accepted: u64,
+    /// Complete request frames decoded.
+    pub frames_in: u64,
+    /// Response frames queued.
+    pub frames_out: u64,
+    /// Read bursts that ended with a partial frame left buffered.
+    pub partial_reads: u64,
+    /// Flushes that could not drain the whole write buffer.
+    pub partial_writes: u64,
+    /// Shard-executor completions applied.
+    pub completions: u64,
+    /// Deepest shard-executor queue observed when enqueuing a job.
+    pub max_queue_depth: u64,
 }
 
 /// What a network serve run did, returned by [`NetServer::run`] after a
@@ -80,13 +131,24 @@ pub struct NetOutcome {
     /// serve mode produces, so telemetry built from either is
     /// comparable key for key.
     pub shards: Vec<ShardOutcome>,
-    /// Per-connection counters, in accept order.
+    /// Per-connection counters, in close order.
     pub clients: Vec<ClientCounters>,
+    /// Per-net-loop counters, indexed by loop.
+    pub loops: Vec<LoopStats>,
+}
+
+/// Lock-free shard progress for the `Stats` fast path, fed by the
+/// engine's [`ShardEvent`] hook so serving a stats request never touches
+/// a shard mutex (which a collection may hold for a while).
+#[derive(Default)]
+struct ShardCache {
+    collections: AtomicU64,
+    failed: Mutex<Option<String>>,
 }
 
 struct Shared {
-    // Handlers hold `read` while serving; `run` takes the set out under
-    // `write` after every handler has been joined.
+    // Executors hold `read` per turn; `run` takes the set out under
+    // `write` after every executor has been joined.
     set: RwLock<Option<ShardSet>>,
     shard_count: u32,
     window_max: u32,
@@ -94,31 +156,172 @@ struct Shared {
     poll_interval: Duration,
     draining: AtomicBool,
     clients: Mutex<Vec<ClientCounters>>,
+    shard_cache: Arc<Vec<ShardCache>>,
 }
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------
+// Loop ↔ executor plumbing
+// ---------------------------------------------------------------------
+
+/// One net loop's cross-thread mailboxes: freshly accepted streams from
+/// the acceptor, completions from shard executors, and the wake
+/// descriptor that makes either poll-visible.
+struct LoopShared {
+    wake: WakePipe,
+    inbox: Mutex<Vec<TcpStream>>,
+    completions: Mutex<Vec<Completion>>,
+}
+
+/// A shard executor's job queue.
+struct ShardExec {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct ExecState {
+    jobs: VecDeque<Job>,
+    stop: bool,
+}
+
+enum Job {
+    /// One decoded `Ops` turn; `objects` travels with it and returns in
+    /// the completion.
+    Turn {
+        loop_id: usize,
+        conn: usize,
+        session: u32,
+        ops: Vec<SessionOp>,
+        objects: SessionObjects,
+    },
+    /// One shard's leg of an admin `Collect` fan-out.
+    Collect { fan: Arc<CollectFan> },
+}
+
+/// Join-counter for a `Collect` fanned across every shard executor; the
+/// executor that finishes last posts the single completion.
+struct CollectFan {
+    loop_id: usize,
+    conn: usize,
+    remaining: AtomicUsize,
+    kicked: AtomicU64,
+}
+
+enum Completion {
+    Turn {
+        conn: usize,
+        objects: SessionObjects,
+        outcome: Result<(TurnApplied, u64), TurnFail>,
+    },
+    Collect {
+        conn: usize,
+        kicked: u64,
+    },
+}
+
+enum TurnFail {
+    /// The turn itself failed (store rejection or unknown ref).
+    Turn(TurnError),
+    /// The shard can no longer serve (GC worker death, poisoned lock,
+    /// executor panic).
+    Shard(String),
+    /// The shard set is already torn down (unreachable while executors
+    /// run; kept typed rather than panicking).
+    Gone,
+}
+
+fn enqueue(exec: &ShardExec, job: Job) -> usize {
+    let depth = {
+        let mut st = lock(&exec.state);
+        st.jobs.push_back(job);
+        st.jobs.len()
+    };
+    exec.cv.notify_one();
+    depth
+}
+
+fn complete(loops: &[LoopShared], loop_id: usize, completion: Completion) {
+    lock(&loops[loop_id].completions).push(completion);
+    loops[loop_id].wake.wake();
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
 
 /// A bound, not-yet-serving network front-end.
 pub struct NetServer {
     listener: TcpListener,
     shared: Arc<Shared>,
+    loops: Arc<Vec<LoopShared>>,
+    execs: Arc<Vec<ShardExec>>,
+    net_threads: usize,
 }
 
 impl NetServer {
-    /// Builds the shard set and binds the listener. `addr` is anything
-    /// `TcpListener::bind` accepts; `"127.0.0.1:0"` picks a free port
-    /// (read it back with [`NetServer::local_addr`]).
+    /// Builds the shard set, resolves the loop-thread count, and binds
+    /// the listener. `addr` is anything `TcpListener::bind` accepts;
+    /// `"127.0.0.1:0"` picks a free port (read it back with
+    /// [`NetServer::local_addr`]).
     pub fn bind(
         addr: &str,
         config: NetConfig,
         make_policy: impl FnMut(u32) -> Box<dyn RatePolicy + Send>,
     ) -> Result<NetServer, BindError> {
         let shard_count = config.shards.max(1);
-        let set = ShardSet::new(
+        let shard_cache: Arc<Vec<ShardCache>> =
+            Arc::new((0..shard_count).map(|_| ShardCache::default()).collect());
+        let hook: ShardHook = {
+            let cache = Arc::clone(&shard_cache);
+            Arc::new(move |ev| match ev {
+                ShardEvent::Collected { shard, collections } => {
+                    cache[*shard]
+                        .collections
+                        .store(*collections, Ordering::SeqCst);
+                }
+                ShardEvent::Failed { shard, message } => {
+                    let mut failed = lock(&cache[*shard].failed);
+                    if failed.is_none() {
+                        *failed = Some(message.clone());
+                    }
+                }
+            })
+        };
+        let set = ShardSet::with_hook(
             &config.engine,
             shard_count as usize,
             make_policy,
             config.gc_fault,
+            Some(hook),
         )
         .map_err(BindError::Shards)?;
+        let net_threads = if config.net_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(4)
+        } else {
+            config.net_threads
+        };
+        let loops: Vec<LoopShared> = (0..net_threads)
+            .map(|_| {
+                Ok(LoopShared {
+                    wake: WakePipe::new().map_err(BindError::Io)?,
+                    inbox: Mutex::new(Vec::new()),
+                    completions: Mutex::new(Vec::new()),
+                })
+            })
+            .collect::<Result<_, BindError>>()?;
+        let execs: Vec<ShardExec> = (0..shard_count)
+            .map(|_| ShardExec {
+                state: Mutex::new(ExecState::default()),
+                cv: Condvar::new(),
+            })
+            .collect();
         let listener = TcpListener::bind(addr).map_err(BindError::Io)?;
         listener.set_nonblocking(true).map_err(BindError::Io)?;
         Ok(NetServer {
@@ -131,7 +334,11 @@ impl NetServer {
                 poll_interval: config.poll_interval.max(Duration::from_millis(1)),
                 draining: AtomicBool::new(false),
                 clients: Mutex::new(Vec::new()),
+                shard_cache,
             }),
+            loops: Arc::new(loops),
+            execs: Arc::new(execs),
+            net_threads,
         })
     }
 
@@ -140,37 +347,74 @@ impl NetServer {
         self.listener.local_addr()
     }
 
-    /// Serves until a client requests a graceful drain, then joins every
-    /// handler, shuts the shards down, and returns the outcome.
+    /// Serves until a client requests a graceful drain, then joins the
+    /// loop and executor threads, shuts the shards down, and returns the
+    /// outcome.
     pub fn run(self) -> NetOutcome {
-        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        while !self.shared.draining.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _addr)) => {
-                    let shared = Arc::clone(&self.shared);
-                    // Thread-per-connection: the kernel queues frames,
-                    // the shard mutex orders turns; spawn failures are
-                    // a refused connection, not a server death.
-                    if let Ok(h) = std::thread::Builder::new()
-                        .name("odbgc-net-conn".into())
-                        .spawn(move || handle_connection(stream, &shared))
-                    {
-                        handlers.push(h);
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(self.shared.poll_interval);
-                }
-                Err(_) => std::thread::sleep(self.shared.poll_interval),
-            }
+        let NetServer {
+            listener,
+            shared,
+            loops,
+            execs,
+            net_threads,
+        } = self;
+
+        let mut exec_handles = Vec::with_capacity(execs.len());
+        for shard in 0..shared.shard_count as usize {
+            let shared = Arc::clone(&shared);
+            let loops = Arc::clone(&loops);
+            let execs = Arc::clone(&execs);
+            let handle = std::thread::Builder::new()
+                .name(format!("odbgc-net-shard-{shard}"))
+                .spawn(move || shard_executor(shard, &shared, &execs[shard], &loops))
+                .expect("spawn shard executor");
+            exec_handles.push(handle);
         }
-        // Drain: no new connections; handlers notice the flag on their
-        // next read tick (or finish their current request) and exit.
-        for h in handlers {
+
+        let mut listener = Some(listener);
+        let mut loop_handles = Vec::with_capacity(net_threads);
+        for loop_id in 0..net_threads {
+            let listener = if loop_id == 0 { listener.take() } else { None };
+            let shared = Arc::clone(&shared);
+            let loops = Arc::clone(&loops);
+            let execs = Arc::clone(&execs);
+            let handle = std::thread::Builder::new()
+                .name(format!("odbgc-net-loop-{loop_id}"))
+                .spawn(move || {
+                    NetLoop {
+                        loop_id,
+                        shared: &shared,
+                        loops: &loops,
+                        execs: &execs,
+                        conns: Vec::new(),
+                        free: Vec::new(),
+                        stats: LoopStats::default(),
+                        scratch: Vec::new(),
+                        read_buf: vec![0u8; 64 * 1024],
+                        rr: 0,
+                    }
+                    .run(listener)
+                })
+                .expect("spawn net loop");
+            loop_handles.push(handle);
+        }
+
+        let loop_stats: Vec<LoopStats> = loop_handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect();
+
+        // Every loop has exited, so no job can still be enqueued; tell
+        // the executors to stop once their queues run dry and join them.
+        for exec in execs.iter() {
+            lock(&exec.state).stop = true;
+            exec.cv.notify_all();
+        }
+        for h in exec_handles {
             let _ = h.join();
         }
-        let set = self
-            .shared
+
+        let set = shared
             .set
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -179,21 +423,19 @@ impl NetServer {
             Some(set) => set.shutdown(),
             None => Vec::new(),
         };
-        let clients = std::mem::take(
-            &mut *self
-                .shared
-                .clients
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
-        );
-        NetOutcome { shards, clients }
+        let clients = std::mem::take(&mut *lock(&shared.clients));
+        NetOutcome {
+            shards,
+            clients,
+            loops: loop_stats,
+        }
     }
 }
 
 /// Why [`NetServer::bind`] failed.
 #[derive(Debug)]
 pub enum BindError {
-    /// The listener could not bind.
+    /// The listener or a loop's wake descriptor could not be created.
     Io(std::io::Error),
     /// A shard's GC worker could not be spawned.
     Shards(ServeError),
@@ -210,239 +452,718 @@ impl std::fmt::Display for BindError {
 
 impl std::error::Error for BindError {}
 
-/// Per-connection session state.
-struct ConnState {
-    session: Option<u32>,
-    shard: u32,
-    window: u64,
-    in_flight: u64,
-    objects: SessionObjects,
-    counters: ClientCounters,
-}
+// ---------------------------------------------------------------------
+// Shard executor
+// ---------------------------------------------------------------------
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    // The read timeout doubles as the idle/drain tick.
-    let _ = stream.set_read_timeout(Some(shared.poll_interval));
-    let _ = stream.set_nodelay(true);
-    let mut state = ConnState {
-        session: None,
-        shard: 0,
-        window: 1,
-        in_flight: 0,
-        objects: SessionObjects::new(),
-        counters: ClientCounters {
-            session: u32::MAX,
-            ..ClientCounters::default()
-        },
-    };
-    let mut idle = Duration::ZERO;
+fn shard_executor(shard: usize, shared: &Shared, exec: &ShardExec, loops: &[LoopShared]) {
     loop {
-        let body = match read_frame(&mut stream) {
-            Ok(body) => body,
-            Err(ProtoError::Io(e))
-                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-            {
-                if shared.draining.load(Ordering::SeqCst) {
-                    // Drain: the client has nothing in flight at the
-                    // protocol level (every applied turn was already
-                    // acknowledged); close out.
-                    state.counters.clean_close = true;
-                    break;
+        let job = {
+            let mut st = lock(&exec.state);
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    break job;
                 }
-                idle += shared.poll_interval;
-                if idle >= shared.idle_timeout {
-                    // Reaped: unclean close, counters still recorded.
-                    break;
+                if st.stop {
+                    return;
                 }
-                continue;
+                st = exec
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
-            Err(_) => break, // EOF, reset, or a corrupt frame: close.
         };
-        idle = Duration::ZERO;
-        state.counters.bytes_in += body.len() as u64 + FRAME_OVERHEAD;
-        let (resp, close) = match Request::decode(&body) {
-            Ok(req) => respond(shared, &mut state, req),
-            Err(e) => (
-                Response::Error {
-                    code: ErrorCode::Protocol,
-                    message: e.to_string(),
-                },
-                true,
-            ),
-        };
-        let resp_body = resp.encode();
-        state.counters.bytes_out += resp_body.len() as u64 + FRAME_OVERHEAD;
-        if write_frame(&mut stream, &resp_body).is_err() {
-            break;
-        }
-        if close {
-            break;
-        }
-    }
-    shared
-        .clients
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .push(state.counters);
-}
-
-/// Handles one request; returns the response and whether to close the
-/// connection afterwards.
-fn respond(shared: &Shared, state: &mut ConnState, req: Request) -> (Response, bool) {
-    match req {
-        Request::Hello { session, window } => {
-            let window = window.clamp(1, shared.window_max);
-            state.session = Some(session);
-            state.shard = session % shared.shard_count;
-            state.window = window as u64;
-            state.counters.session = session;
-            (
-                Response::HelloOk {
-                    session,
-                    shard: state.shard,
-                    window,
-                },
-                false,
-            )
-        }
-        Request::Ops { ops } => (apply_turn(shared, state, &ops), false),
-        Request::Ack { n } => {
-            state.in_flight = state.in_flight.saturating_sub(n);
-            (
-                Response::AckOk {
-                    in_flight: state.in_flight,
-                },
-                false,
-            )
-        }
-        Request::Stats => (stats(shared), false),
-        Request::Collect => (collect(shared), false),
-        Request::Shutdown => {
-            shared.draining.store(true, Ordering::SeqCst);
-            state.counters.clean_close = true;
-            (Response::ShutdownOk, true)
-        }
-        Request::Bye => {
-            state.counters.clean_close = true;
-            (Response::ByeOk, true)
+        match job {
+            Job::Turn {
+                loop_id,
+                conn,
+                session,
+                ops,
+                mut objects,
+            } => {
+                // An engine panic must kill neither the executor (which
+                // would hang every queued connection) nor the objects
+                // map travelling with the job.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_turn(shared, shard, session, &ops, &mut objects)
+                }))
+                .unwrap_or_else(|payload| {
+                    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_owned()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_owned()
+                    };
+                    Err(TurnFail::Shard(format!("shard executor panicked: {msg}")))
+                });
+                complete(
+                    loops,
+                    loop_id,
+                    Completion::Turn {
+                        conn,
+                        objects,
+                        outcome,
+                    },
+                );
+            }
+            Job::Collect { fan } => {
+                let kicked = {
+                    let guard = shared
+                        .set
+                        .read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    match guard.as_ref() {
+                        // A failed shard just doesn't collect; Collect
+                        // is best-effort, exactly as before.
+                        Some(set) => set
+                            .checkout(shard)
+                            .map(|turn| turn.finish())
+                            .unwrap_or(false),
+                        None => false,
+                    }
+                };
+                if kicked {
+                    fan.kicked.fetch_add(1, Ordering::SeqCst);
+                }
+                if fan.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    complete(
+                        loops,
+                        fan.loop_id,
+                        Completion::Collect {
+                            conn: fan.conn,
+                            kicked: fan.kicked.load(Ordering::SeqCst),
+                        },
+                    );
+                }
+            }
         }
     }
 }
 
-fn apply_turn(shared: &Shared, state: &mut ConnState, ops: &[odbgc_engine::SessionOp]) -> Response {
-    let Some(session) = state.session else {
-        return Response::Error {
-            code: ErrorCode::Protocol,
-            message: "Ops before Hello".into(),
-        };
-    };
-    if shared.draining.load(Ordering::SeqCst) {
-        return Response::Error {
-            code: ErrorCode::Draining,
-            message: "server is draining; no new turns".into(),
-        };
-    }
-    if state.in_flight >= state.window {
-        state.counters.busy_rejections += 1;
-        return Response::Busy {
-            in_flight: state.in_flight,
-            window: state.window,
-        };
-    }
+fn run_turn(
+    shared: &Shared,
+    shard: usize,
+    session: u32,
+    ops: &[SessionOp],
+    objects: &mut SessionObjects,
+) -> Result<(TurnApplied, u64), TurnFail> {
     let guard = shared
         .set
         .read()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let Some(set) = guard.as_ref() else {
-        return Response::Error {
-            code: ErrorCode::Draining,
-            message: "server is shut down".into(),
-        };
+        return Err(TurnFail::Gone);
     };
-    let mut turn = match set.checkout(state.shard as usize) {
+    let mut turn = match set.checkout(shard) {
         Ok(turn) => turn,
         Err(e) => {
-            return Response::Error {
-                code: ErrorCode::ShardFailed,
-                message: e.to_string(),
-            };
+            let message = e.to_string();
+            // The engine hook covers worker deaths; a poisoned-lock
+            // checkout failure lands in the cache here instead.
+            let mut failed = lock(&shared.shard_cache[shard].failed);
+            if failed.is_none() {
+                *failed = Some(message.clone());
+            }
+            return Err(TurnFail::Shard(message));
         }
     };
     let gc_stall_ns = turn.gc_stall.as_nanos() as u64;
     let mut sess = turn.session(SessionId::new(session));
-    match apply_ops(&mut sess, &mut state.objects, ops) {
-        Ok(applied) => {
-            turn.finish();
-            state.in_flight += 1;
-            state.counters.turns += 1;
-            state.counters.ops += applied.applied;
-            state.counters.gc_stall_ns += gc_stall_ns;
-            Response::OpsOk {
-                applied: applied.applied,
-                created: applied.created,
-                garbage_created: applied.garbage_created,
-                in_flight: state.in_flight,
-                gc_stall_ns,
-            }
-        }
-        Err(e) => {
-            // The failing turn was partially applied (ops before the
-            // error landed); still hand the shard back so its GC can
-            // proceed for other connections.
-            turn.finish();
-            Response::Error {
-                code: match e.kind {
-                    odbgc_engine::TurnErrorKind::Op(_) => ErrorCode::Op,
-                    odbgc_engine::TurnErrorKind::UnknownRef { .. } => ErrorCode::Protocol,
-                },
-                message: e.to_string(),
-            }
-        }
+    let result = apply_ops(&mut sess, objects, ops);
+    // A failing turn was partially applied (ops before the error
+    // landed); still hand the shard back so its GC can proceed for
+    // other connections.
+    turn.finish();
+    match result {
+        Ok(applied) => Ok((applied, gc_stall_ns)),
+        Err(e) => Err(TurnFail::Turn(e)),
     }
 }
 
-fn stats(shared: &Shared) -> Response {
-    let guard = shared
-        .set
-        .read()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    let shards = match guard.as_ref() {
-        Some(set) => set
-            .status()
-            .into_iter()
+// ---------------------------------------------------------------------
+// Net loop
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(t: &T) -> Fd {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_t: &T) -> Fd {
+    // The emulated poll never dereferences descriptors.
+    -1
+}
+
+/// What to do with a connection after an event was handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Keep,
+    /// Close now: record counters, free the slot.
+    Close,
+    /// The socket failed while a shard job is in flight; keep the slot
+    /// (the completion owns state to return) but stop polling the fd.
+    Dead,
+}
+
+enum FdKind {
+    Wake,
+    Listener,
+    Conn(usize),
+}
+
+struct NetLoop<'a> {
+    loop_id: usize,
+    shared: &'a Shared,
+    loops: &'a [LoopShared],
+    execs: &'a [ShardExec],
+    conns: Vec<Option<Connection>>,
+    free: Vec<usize>,
+    stats: LoopStats,
+    /// Response-body scratch, reused across every response this loop
+    /// encodes.
+    scratch: Vec<u8>,
+    /// Socket read scratch.
+    read_buf: Vec<u8>,
+    /// Round-robin cursor for dealing accepted connections (loop 0).
+    rr: usize,
+}
+
+impl NetLoop<'_> {
+    fn run(mut self, mut listener: Option<TcpListener>) -> LoopStats {
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut kinds: Vec<FdKind> = Vec::new();
+        loop {
+            self.adopt_inbox();
+            for completion in std::mem::take(&mut *lock(&self.loops[self.loop_id].completions)) {
+                self.apply_completion(completion);
+            }
+            let draining = self.shared.draining.load(Ordering::SeqCst);
+            if draining {
+                listener = None; // stop accepting; refuse new connects
+                self.drain_pass();
+                if self.is_quiescent() {
+                    break;
+                }
+            } else {
+                self.reap_idle();
+            }
+
+            fds.clear();
+            kinds.clear();
+            fds.push(PollFd::new(self.loops[self.loop_id].wake.fd(), POLLIN));
+            kinds.push(FdKind::Wake);
+            if let Some(l) = &listener {
+                fds.push(PollFd::new(raw_fd(l), POLLIN));
+                kinds.push(FdKind::Listener);
+            }
+            for (idx, slot) in self.conns.iter().enumerate() {
+                let Some(conn) = slot else { continue };
+                if conn.dead {
+                    continue;
+                }
+                let mut events = 0i16;
+                if conn.phase == ConnPhase::Ready && !conn.close_after_flush {
+                    events |= POLLIN;
+                }
+                if conn.out_pending() > 0 {
+                    events |= POLLOUT;
+                }
+                if events != 0 {
+                    fds.push(PollFd::new(raw_fd(&conn.stream), events));
+                    kinds.push(FdKind::Conn(idx));
+                }
+            }
+
+            let timeout_ms = self.poll_timeout_ms();
+            let ready = match poll(&mut fds, timeout_ms, self.shared.poll_interval) {
+                Ok(n) => n,
+                Err(_) => {
+                    // A failing poll would spin; back off one emulation
+                    // tick and retry (never observed on the Unix path).
+                    std::thread::sleep(self.shared.poll_interval);
+                    continue;
+                }
+            };
+            if ready == 0 {
+                if timeout_ms >= 0 {
+                    self.stats.timeouts += 1;
+                }
+                continue;
+            }
+            self.stats.wakeups += 1;
+
+            for i in 0..fds.len() {
+                if fds[i].revents == 0 {
+                    continue;
+                }
+                match kinds[i] {
+                    FdKind::Wake => self.loops[self.loop_id].wake.drain(),
+                    FdKind::Listener => self.accept_burst(&listener),
+                    FdKind::Conn(idx) => self.conn_event(idx, fds[i].revents),
+                }
+            }
+        }
+        self.stats
+    }
+
+    /// Next poll timeout: the soonest idle deadline among reapable
+    /// connections, or block indefinitely when nothing is due — every
+    /// other transition arrives as descriptor readiness.
+    fn poll_timeout_ms(&self) -> i32 {
+        let now = Instant::now();
+        let mut timeout: Option<Duration> = None;
+        for conn in self.conns.iter().flatten() {
+            if conn.dead || conn.phase == ConnPhase::AwaitShard {
+                continue;
+            }
+            let deadline = conn.last_activity + self.shared.idle_timeout;
+            let remaining = deadline.saturating_duration_since(now);
+            timeout = Some(match timeout {
+                Some(t) => t.min(remaining),
+                None => remaining,
+            });
+        }
+        match timeout {
+            // +1ms so the deadline has passed when the timeout fires.
+            Some(t) => (t.as_millis() + 1).min(i32::MAX as u128) as i32,
+            None => -1,
+        }
+    }
+
+    fn adopt_inbox(&mut self) {
+        let streams = std::mem::take(&mut *lock(&self.loops[self.loop_id].inbox));
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        for stream in streams {
+            if draining {
+                // Dropped: the client sees a closed socket, the
+                // documented refusal during drain.
+                continue;
+            }
+            self.adopt(stream);
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        let conn = Connection::new(stream, Instant::now());
+        self.stats.accepted += 1;
+        match self.free.pop() {
+            Some(idx) => self.conns[idx] = Some(conn),
+            None => self.conns.push(Some(conn)),
+        }
+    }
+
+    fn accept_burst(&mut self, listener: &Option<TcpListener>) {
+        let Some(listener) = listener else { return };
+        loop {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let target = self.rr % self.loops.len();
+                    self.rr = self.rr.wrapping_add(1);
+                    if target == self.loop_id {
+                        self.adopt(stream);
+                    } else {
+                        lock(&self.loops[target].inbox).push(stream);
+                        self.loops[target].wake.wake();
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                // Transient accept failures (EMFILE, aborted handshake):
+                // drop the burst; the listener stays registered and poll
+                // re-reports readiness.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// True when this loop has nothing left to do under an active drain.
+    fn is_quiescent(&self) -> bool {
+        self.conns.iter().all(Option::is_none)
+            && lock(&self.loops[self.loop_id].inbox).is_empty()
+            && lock(&self.loops[self.loop_id].completions).is_empty()
+    }
+
+    /// Drain: close every connection with no shard job in flight. Each
+    /// applied turn was acknowledged synchronously, so closing here
+    /// loses nothing.
+    fn drain_pass(&mut self) {
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                continue;
+            };
+            if conn.dead || conn.phase == ConnPhase::AwaitShard {
+                continue;
+            }
+            if !conn.close_after_flush {
+                conn.counters.clean_close = true;
+                conn.close_after_flush = true;
+            }
+            if conn.out_pending() == 0 {
+                self.retire(idx, Verdict::Close);
+            }
+            // else: POLLOUT flushes the tail, then the close completes.
+        }
+    }
+
+    fn reap_idle(&mut self) {
+        let now = Instant::now();
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_ref() else {
+                continue;
+            };
+            if conn.dead || conn.phase == ConnPhase::AwaitShard {
+                continue;
+            }
+            if now.saturating_duration_since(conn.last_activity) >= self.shared.idle_timeout {
+                // Reaped: unclean close, counters still recorded.
+                self.retire(idx, Verdict::Close);
+            }
+        }
+    }
+
+    fn retire(&mut self, idx: usize, verdict: Verdict) {
+        match verdict {
+            Verdict::Keep => {}
+            Verdict::Dead => {
+                if let Some(conn) = self.conns[idx].as_mut() {
+                    conn.dead = true;
+                }
+            }
+            Verdict::Close => {
+                if let Some(conn) = self.conns[idx].take() {
+                    lock(&self.shared.clients).push(conn.counters);
+                    self.free.push(idx);
+                }
+            }
+        }
+    }
+
+    fn conn_event(&mut self, idx: usize, revents: i16) {
+        let Some(mut conn) = self.conns[idx].take() else {
+            return;
+        };
+        let mut verdict = Verdict::Keep;
+        if revents & POLLNVAL != 0 {
+            verdict = Verdict::Close;
+        }
+        if verdict == Verdict::Keep
+            && conn.phase == ConnPhase::Ready
+            && !conn.close_after_flush
+            && revents & (POLLIN | POLLHUP | POLLERR) != 0
+        {
+            verdict = self.read_burst(idx, &mut conn);
+        }
+        if verdict == Verdict::Keep && conn.out_pending() > 0 {
+            verdict = self.flush(&mut conn);
+        }
+        self.conns[idx] = Some(conn);
+        self.retire(idx, verdict);
+    }
+
+    /// Reads until the kernel runs dry, the connection stops accepting
+    /// frames (turn in flight / closing), or the stream ends.
+    fn read_burst(&mut self, idx: usize, conn: &mut Connection) -> Verdict {
+        loop {
+            if conn.phase != ConnPhase::Ready || conn.close_after_flush {
+                break;
+            }
+            match conn.stream.read(&mut self.read_buf) {
+                Ok(0) => return Verdict::Close, // EOF
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    // Borrow dance: move the chunk through a split
+                    // borrow of the scratch so the assembler can ingest
+                    // while `self` stays usable afterwards.
+                    let chunk_len = n;
+                    conn.assembler.extend(&self.read_buf[..chunk_len]);
+                    let verdict = self.process_frames(idx, conn);
+                    if verdict != Verdict::Keep {
+                        return verdict;
+                    }
+                    if n < self.read_buf.len() {
+                        // Short read: the kernel buffer is (almost
+                        // certainly) dry; poll is level-triggered, so
+                        // guessing wrong only costs one extra wakeup.
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Verdict::Close,
+            }
+        }
+        if conn.assembler.pending() > 0 {
+            self.stats.partial_reads += 1;
+        }
+        Verdict::Keep
+    }
+
+    /// Decodes and handles every complete buffered frame, stopping when
+    /// the connection enters `AwaitShard` (strict request/response:
+    /// later frames wait for the turn's completion) or starts closing.
+    fn process_frames(&mut self, idx: usize, conn: &mut Connection) -> Verdict {
+        loop {
+            if conn.phase != ConnPhase::Ready || conn.close_after_flush {
+                return Verdict::Keep;
+            }
+            let body = match conn.assembler.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => return Verdict::Keep,
+                // Corrupt framing: the stream is out of sync; close
+                // without a response, as the blocking reader did.
+                Err(_) => return Verdict::Close,
+            };
+            conn.counters.bytes_in += body.len() as u64 + FRAME_OVERHEAD;
+            self.stats.frames_in += 1;
+            match Request::decode(body) {
+                Ok(req) => self.handle_request(idx, conn, req),
+                Err(e) => {
+                    self.queue_response(
+                        conn,
+                        &Response::Error {
+                            code: ErrorCode::Protocol,
+                            message: e.to_string(),
+                        },
+                    );
+                    conn.close_after_flush = true;
+                }
+            }
+        }
+    }
+
+    fn handle_request(&mut self, idx: usize, conn: &mut Connection, req: Request) {
+        match req {
+            Request::Hello { session, window } => {
+                let window = window.clamp(1, self.shared.window_max);
+                conn.session = Some(session);
+                conn.shard = session % self.shared.shard_count;
+                conn.window = window as u64;
+                conn.counters.session = session;
+                self.queue_response(
+                    conn,
+                    &Response::HelloOk {
+                        session,
+                        shard: conn.shard,
+                        window,
+                    },
+                );
+            }
+            Request::Ops { ops } => {
+                let Some(session) = conn.session else {
+                    self.queue_response(
+                        conn,
+                        &Response::Error {
+                            code: ErrorCode::Protocol,
+                            message: "Ops before Hello".into(),
+                        },
+                    );
+                    return;
+                };
+                if self.shared.draining.load(Ordering::SeqCst) {
+                    self.queue_response(
+                        conn,
+                        &Response::Error {
+                            code: ErrorCode::Draining,
+                            message: "server is draining; no new turns".into(),
+                        },
+                    );
+                    return;
+                }
+                if conn.in_flight >= conn.window {
+                    conn.counters.busy_rejections += 1;
+                    self.queue_response(
+                        conn,
+                        &Response::Busy {
+                            in_flight: conn.in_flight,
+                            window: conn.window,
+                        },
+                    );
+                    return;
+                }
+                let objects = conn.objects.take().unwrap_or_default();
+                conn.phase = ConnPhase::AwaitShard;
+                let depth = enqueue(
+                    &self.execs[conn.shard as usize],
+                    Job::Turn {
+                        loop_id: self.loop_id,
+                        conn: idx,
+                        session,
+                        ops,
+                        objects,
+                    },
+                );
+                self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth as u64);
+            }
+            Request::Ack { n } => {
+                conn.in_flight = conn.in_flight.saturating_sub(n);
+                self.queue_response(
+                    conn,
+                    &Response::AckOk {
+                        in_flight: conn.in_flight,
+                    },
+                );
+            }
+            Request::Stats => {
+                let resp = self.stats_snapshot();
+                self.queue_response(conn, &resp);
+            }
+            Request::Collect => {
+                let fan = Arc::new(CollectFan {
+                    loop_id: self.loop_id,
+                    conn: idx,
+                    remaining: AtomicUsize::new(self.execs.len()),
+                    kicked: AtomicU64::new(0),
+                });
+                conn.phase = ConnPhase::AwaitShard;
+                for exec in self.execs.iter() {
+                    let depth = enqueue(
+                        exec,
+                        Job::Collect {
+                            fan: Arc::clone(&fan),
+                        },
+                    );
+                    self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth as u64);
+                }
+            }
+            Request::Shutdown => {
+                self.shared.draining.store(true, Ordering::SeqCst);
+                conn.counters.clean_close = true;
+                self.queue_response(conn, &Response::ShutdownOk);
+                conn.close_after_flush = true;
+                for other in self.loops.iter() {
+                    other.wake.wake();
+                }
+            }
+            Request::Bye => {
+                conn.counters.clean_close = true;
+                self.queue_response(conn, &Response::ByeOk);
+                conn.close_after_flush = true;
+            }
+        }
+    }
+
+    fn stats_snapshot(&self) -> Response {
+        let shards = self
+            .shared
+            .shard_cache
+            .iter()
             .enumerate()
-            .map(|(i, s)| ShardStats {
+            .map(|(i, cache)| ShardStats {
                 shard: i as u32,
-                collections: s.collections,
-                failed: s.failed,
+                collections: cache.collections.load(Ordering::SeqCst),
+                failed: lock(&cache.failed).clone(),
             })
-            .collect(),
-        None => Vec::new(),
-    };
-    let clients = shared
-        .clients
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .clone();
-    Response::StatsOk(StatsSnapshot { shards, clients })
-}
+            .collect();
+        let clients = lock(&self.shared.clients).clone();
+        Response::StatsOk(StatsSnapshot { shards, clients })
+    }
 
-fn collect(shared: &Shared) -> Response {
-    let guard = shared
-        .set
-        .read()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    let Some(set) = guard.as_ref() else {
-        return Response::CollectOk { kicked: 0 };
-    };
-    let mut kicked = 0u64;
-    for shard in 0..set.shard_count() {
-        // A failed shard just doesn't collect; Collect is best-effort.
-        if let Ok(turn) = set.checkout(shard) {
-            if turn.finish() {
-                kicked += 1;
+    fn queue_response(&mut self, conn: &mut Connection, resp: &Response) {
+        resp.encode_into(&mut self.scratch);
+        conn.counters.bytes_out += self.scratch.len() as u64 + FRAME_OVERHEAD;
+        self.stats.frames_out += 1;
+        frame_into(&mut conn.out, &self.scratch);
+    }
+
+    fn flush(&mut self, conn: &mut Connection) -> Verdict {
+        match conn.flush_out() {
+            Ok(true) => {
+                if conn.close_after_flush {
+                    Verdict::Close
+                } else {
+                    Verdict::Keep
+                }
+            }
+            Ok(false) => {
+                self.stats.partial_writes += 1;
+                Verdict::Keep
+            }
+            Err(_) => {
+                if conn.phase == ConnPhase::AwaitShard {
+                    Verdict::Dead
+                } else {
+                    Verdict::Close
+                }
             }
         }
     }
-    Response::CollectOk { kicked }
+
+    fn apply_completion(&mut self, completion: Completion) {
+        self.stats.completions += 1;
+        match completion {
+            Completion::Turn {
+                conn: idx,
+                objects,
+                outcome,
+            } => {
+                let Some(mut conn) = self.conns[idx].take() else {
+                    return;
+                };
+                conn.objects = Some(objects);
+                conn.phase = ConnPhase::Ready;
+                conn.last_activity = Instant::now();
+                let resp = match outcome {
+                    Ok((applied, gc_stall_ns)) => {
+                        conn.in_flight += 1;
+                        conn.counters.turns += 1;
+                        conn.counters.ops += applied.applied;
+                        conn.counters.gc_stall_ns += gc_stall_ns;
+                        Response::OpsOk {
+                            applied: applied.applied,
+                            created: applied.created,
+                            garbage_created: applied.garbage_created,
+                            in_flight: conn.in_flight,
+                            gc_stall_ns,
+                        }
+                    }
+                    Err(TurnFail::Turn(e)) => Response::Error {
+                        code: match e.kind {
+                            odbgc_engine::TurnErrorKind::Op(_) => ErrorCode::Op,
+                            odbgc_engine::TurnErrorKind::UnknownRef { .. } => ErrorCode::Protocol,
+                        },
+                        message: e.to_string(),
+                    },
+                    Err(TurnFail::Shard(message)) => Response::Error {
+                        code: ErrorCode::ShardFailed,
+                        message,
+                    },
+                    Err(TurnFail::Gone) => Response::Error {
+                        code: ErrorCode::Draining,
+                        message: "server is shut down".into(),
+                    },
+                };
+                self.resume(idx, conn, resp);
+            }
+            Completion::Collect { conn: idx, kicked } => {
+                let Some(mut conn) = self.conns[idx].take() else {
+                    return;
+                };
+                conn.phase = ConnPhase::Ready;
+                conn.last_activity = Instant::now();
+                self.resume(idx, conn, Response::CollectOk { kicked });
+            }
+        }
+    }
+
+    /// Flushes a completion's response and resumes decoding any frames
+    /// the client pipelined while the turn was in flight.
+    fn resume(&mut self, idx: usize, mut conn: Connection, resp: Response) {
+        if conn.dead {
+            // The socket died mid-turn; the turn still counted (it was
+            // applied), but there is nobody to respond to.
+            lock(&self.shared.clients).push(conn.counters);
+            self.free.push(idx);
+            return;
+        }
+        self.queue_response(&mut conn, &resp);
+        let mut verdict = self.process_frames(idx, &mut conn);
+        if verdict == Verdict::Keep && conn.out_pending() > 0 {
+            verdict = self.flush(&mut conn);
+        }
+        self.conns[idx] = Some(conn);
+        self.retire(idx, verdict);
+    }
 }

@@ -3,7 +3,7 @@
 //! `bench-compare` runs the criterion micro-benchmark suite, compares
 //! each benchmark's median against the checked-in machine-local baseline
 //! in `reports/bench_summary.txt`, writes the comparison to
-//! `BENCH_9.json`, and rewrites the baseline with the fresh numbers.
+//! `BENCH_10.json`, and rewrites the baseline with the fresh numbers.
 //! No dependencies: the criterion shim's output format is fixed
 //! (`{name} time: [{lo} {med} {hi}] ...`), so a hand-rolled parser is
 //! enough.
@@ -129,7 +129,7 @@ fn find_regressions(
 fn bench_compare(opts: CheckOptions) {
     let root = repo_root();
     let summary_path = root.join("reports/bench_summary.txt");
-    let json_path = root.join("BENCH_9.json");
+    let json_path = root.join("BENCH_10.json");
 
     let old = std::fs::read_to_string(&summary_path)
         .map(|s| parse_samples(&s))
@@ -218,7 +218,7 @@ fn bench_compare(opts: CheckOptions) {
     }
 
     // Baseline-refresh mode: machine-readable copy plus a new baseline.
-    std::fs::write(&json_path, json).expect("write BENCH_9.json");
+    std::fs::write(&json_path, json).expect("write BENCH_10.json");
 
     let mut summary = String::from(
         "Criterion micro-benchmark summary (lower/median/upper)\n\
